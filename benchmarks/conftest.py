@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs at the ``smoke`` experiment tier; trained models come
+from the on-disk cache (first invocation trains them, later ones load).
+Full-figure benchmarks use ``benchmark.pedantic(rounds=1)`` because a round
+*is* the experiment; micro-benchmarks use normal timing loops.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a whole experiment as a single round and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,41 @@
+"""Benchmarks for the §IV-A extension studies (granularity / quantization /
+criteria ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_criteria,
+    ablation_granularity,
+    ablation_quantization,
+)
+
+from .conftest import run_once
+
+
+def test_ablation_granularity(benchmark):
+    results = run_once(benchmark, lambda: ablation_granularity.run(scale="smoke", seed=0))
+    rates = results["results"]
+    # Corruption probability must grow with the perturbed region.
+    assert rates["neuron"].rate <= rates["feature_map"].rate + 0.02
+    assert rates["feature_map"].rate <= rates["layer"].rate + 0.05
+
+
+def test_ablation_quantization(benchmark):
+    results = run_once(benchmark, lambda: ablation_quantization.run(scale="smoke", seed=0))
+    rates = {r["regime"]: r["result"].corruption_rate for r in results["rows"]}
+    assert rates["int8"] <= rates["int4"]
+
+
+def test_ablation_criteria(benchmark):
+    results = run_once(benchmark, lambda: ablation_criteria.run(scale="smoke", seed=0))
+    rates = {r["criterion"]: r["proportion"].rate for r in results["rows"]}
+    assert rates["top1_not_in_top5"] <= rates["top1"] + 1e-9
+
+
+def test_ablation_bit_position(benchmark):
+    from repro.experiments import ablation_bit_position
+
+    results = run_once(benchmark, lambda: ablation_bit_position.run(scale="smoke", seed=0))
+    rates = {r["bit"]: r["result"].corruption_rate for r in results["rows"]}
+    # High exponent bits dominate the SDC rate (Li et al. [23] shape).
+    assert rates[30] >= max(rates[0], rates[22])

@@ -1,0 +1,72 @@
+"""Fig. 3 benchmark — injector runtime overhead.
+
+Regenerates the Fig. 3 series (base vs FI wall-clock per network/device)
+and micro-benchmarks the exact quantity the figure plots: one inference
+with and without a declared neuron injection.
+"""
+
+import pytest
+
+from repro import models, tensor
+from repro.core import FaultInjection, RandomValue, random_neuron_injection
+from repro.experiments import fig3_overhead
+from repro.tensor import no_grad
+
+from .conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def alexnet_pair():
+    """A clean model, an instrumented twin, and an input batch."""
+    tensor.manual_seed(0)
+    net = models.get_model("alexnet", "cifar10", scale="small", rng=tensor.spawn(1))
+    net.eval()
+    fi = FaultInjection(net, batch_size=1, input_shape=(3, 32, 32), rng=2)
+    corrupted, _ = random_neuron_injection(fi, RandomValue())
+    corrupted.eval()
+    x = tensor.randn(1, 3, 32, 32, rng=3)
+    return net, corrupted, x
+
+
+def test_baseline_inference(benchmark, alexnet_pair):
+    net, _, x = alexnet_pair
+
+    def run():
+        with no_grad():
+            return net(x)
+
+    benchmark(run)
+
+
+def test_fi_inference(benchmark, alexnet_pair):
+    """The paper's claim: this should match test_baseline_inference."""
+    _, corrupted, x = alexnet_pair
+
+    def run():
+        with no_grad():
+            return corrupted(x)
+
+    benchmark(run)
+
+
+def test_fig3_full_roster(benchmark):
+    """The whole smoke-tier Fig. 3 table, asserted against the paper shape."""
+    results = run_once(benchmark, lambda: fig3_overhead.run(scale="smoke", seed=0))
+    assert results["measurements"]
+    for m in results["measurements"]:
+        # Paper: overhead < 10ms everywhere.  Our models are smaller, so the
+        # bound is held in relative form too.
+        assert abs(m.overhead_s) < 0.010 or abs(m.overhead_pct) < 50
+
+
+def test_fig3_batch_sweep(benchmark):
+    """§III-C: overhead stays amortised as batch size grows."""
+    results = run_once(
+        benchmark,
+        lambda: fig3_overhead.run(scale="smoke", seed=0, sweep_batch=True),
+    )
+    sweep = results["sweep"]
+    assert len(sweep) >= 2
+    per_image_overhead = [abs(m.overhead_s) / m.batch_size for m in sweep]
+    # Larger batches must not make the per-image overhead grow.
+    assert per_image_overhead[-1] < per_image_overhead[0] + 5e-3

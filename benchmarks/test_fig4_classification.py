@@ -1,0 +1,41 @@
+"""Fig. 4 benchmark — INT8 single-bit-flip misclassification campaign.
+
+Regenerates the Fig. 4 bars (SDC rate per network) at smoke tier and
+micro-benchmarks campaign throughput (injections per second), the quantity
+that made the authors' 107M-injection study feasible.
+"""
+
+import pytest
+
+from repro import tensor
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip
+from repro.experiments import fig4_classification
+from repro.experiments.common import trained_model
+
+from .conftest import run_once
+
+
+def test_fig4_campaign(benchmark):
+    results = run_once(benchmark, lambda: fig4_classification.run(scale="smoke", seed=0))
+    rows = results["rows"]
+    assert len(rows) == 2
+    total_corruptions = sum(r["result"].corruptions for r in rows)
+    # Paper shape: SDCs exist but are rare (well under a few percent).
+    assert total_corruptions > 0
+    for row in rows:
+        assert row["result"].corruption_rate < 0.10
+        low, high = row["result"].proportion.interval
+        assert low <= row["result"].corruption_rate <= high
+
+
+def test_injection_throughput(benchmark):
+    """Batched injections per forward pass — the §III-C amortisation."""
+    tensor.manual_seed(0)
+    model, dataset, _ = trained_model("alexnet", "imagenet", scale="smoke", seed=0,
+                                      optimizer="adam", lr=2e-3, epochs=22)
+    campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                 batch_size=32, pool_size=96, rng=1)
+
+    result = benchmark(lambda: campaign.run(64))
+    assert result.injections == 64

@@ -1,0 +1,41 @@
+"""Fig. 5 benchmark — multi-neuron perturbation of the object detector."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5_detection
+
+from .conftest import run_once
+
+
+def test_fig5_perturbation_study(benchmark):
+    results = run_once(benchmark, lambda: fig5_detection.run(scale="smoke", seed=0))
+    # Clean detector must actually detect (F1 against ground truth)...
+    assert results["clean_mean_f1"] > 0.6
+    # ...and the perturbed one must corrupt its output, hallucinating
+    # phantom objects (the Fig. 5b behaviour).
+    assert results["corrupted_fraction"] > 0.5
+    assert results["mean_phantoms"] > 0
+
+
+def test_detector_inference_clean_vs_perturbed(benchmark):
+    """Detector inference+decode throughput with injections installed."""
+    from repro import tensor
+    from repro.core import FaultInjection, RandomValue, random_multi_neuron_injection
+    from repro.detection import decode
+    from repro.experiments.fig5_detection import trained_detector
+    from repro.tensor import Tensor, no_grad
+
+    model, dataset, _ = trained_detector(scale="smoke", seed=0)
+    images, _, _ = dataset.sample_batch(4, rng=1)
+    x = Tensor(images)
+    fi = FaultInjection(model, batch_size=4, input_shape=(3, 64, 64), rng=2)
+    corrupted, _ = random_multi_neuron_injection(fi, RandomValue(-200, 200))
+
+    def run():
+        with no_grad(), np.errstate(all="ignore"):
+            return decode(corrupted(x), model, conf_threshold=0.4)
+
+    detections = benchmark(run)
+    fi.reset()
+    assert len(detections) == 4

@@ -1,0 +1,31 @@
+"""Fig. 7 benchmark — Grad-CAM heatmap shift under feature-map injection."""
+
+import pytest
+
+from repro.experiments import fig7_gradcam
+
+from .conftest import run_once
+
+
+def test_fig7_sensitivity_study(benchmark):
+    results = run_once(benchmark, lambda: fig7_gradcam.run(scale="smoke", seed=0))
+    # Paper shape: the least-sensitive feature map moves the heatmap (much)
+    # less than the most-sensitive one, on average.
+    assert results["mean_low"] <= results["mean_high"] + 0.02
+    # And the low-sensitivity injection usually keeps the Top-1 class.
+    kept = [s["low_class"] == s["clean_class"] for s in results["studies"]]
+    assert sum(kept) >= len(kept) / 2
+
+
+def test_grad_cam_pass_speed(benchmark):
+    """One Grad-CAM (forward + backward + weighting) on the cached DenseNet."""
+    from repro.experiments.common import trained_model
+    from repro.experiments.fig7_gradcam import _target_layer
+    from repro.interpret import grad_cam
+
+    model, dataset, _ = trained_model("densenet", "cifar10", scale="smoke", seed=0)
+    layer = _target_layer(model)
+    images, _ = dataset.sample(1, rng=1)
+
+    result = benchmark(lambda: grad_cam(model, images[0], layer))
+    assert result.heatmap.max() <= 1.0

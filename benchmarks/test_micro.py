@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrate primitives the tool's speed rests on."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn, tensor
+from repro.core import FaultInjection, RandomValue, bitflip
+from repro.nn import functional as F
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def conv_input():
+    gen = np.random.default_rng(0)
+    x = Tensor(gen.standard_normal((8, 16, 32, 32)).astype(np.float32))
+    w = Tensor(gen.standard_normal((32, 16, 3, 3)).astype(np.float32))
+    return x, w
+
+
+def test_conv2d_forward(benchmark, conv_input):
+    x, w = conv_input
+    benchmark(lambda: F.conv2d(x, w, None, padding=1))
+
+
+def test_conv2d_backward(benchmark):
+    gen = np.random.default_rng(1)
+    x = Tensor(gen.standard_normal((8, 16, 32, 32)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(gen.standard_normal((32, 16, 3, 3)).astype(np.float32),
+               requires_grad=True)
+
+    def run():
+        x.grad = w.grad = None
+        F.conv2d(x, w, None, padding=1).sum().backward()
+        return w.grad
+
+    benchmark(run)
+
+
+def test_bitflip_throughput(benchmark):
+    gen = np.random.default_rng(2)
+    values = gen.standard_normal(100_000).astype(np.float32)
+    benchmark(lambda: bitflip.flip_random_bits(values, gen))
+
+
+def test_profiling_cost(benchmark):
+    """FaultInjection construction = one dummy inference + bookkeeping."""
+    tensor.manual_seed(0)
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=tensor.spawn(1))
+    net.eval()
+    benchmark(lambda: FaultInjection(net, batch_size=1, input_shape=(3, 32, 32)))
+
+
+def test_instrumentation_cost(benchmark):
+    """Declaring an injection: clone + hook install (off the critical path)."""
+    tensor.manual_seed(0)
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=tensor.spawn(1))
+    net.eval()
+    fi = FaultInjection(net, batch_size=1, input_shape=(3, 32, 32), rng=1)
+
+    def run():
+        model = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, function=RandomValue())
+        fi.reset()
+        return model
+
+    benchmark(run)
+
+
+def test_hook_dispatch_overhead(benchmark):
+    """Module __call__ with an empty hook dict vs the injection hook."""
+    layer = nn.Conv2d(8, 8, 3, padding=1, rng=np.random.default_rng(3))
+    x = tensor.randn(1, 8, 16, 16, rng=4)
+
+    def run():
+        with no_grad():
+            return layer(x)
+
+    benchmark(run)

@@ -1,0 +1,45 @@
+"""Table I benchmark — FI-in-the-training-loop vs baseline training."""
+
+import pytest
+
+from repro.experiments import table1_training
+
+from .conftest import run_once
+
+
+def test_table1_rows(benchmark):
+    results = run_once(benchmark, lambda: table1_training.run(scale="smoke", seed=0))
+    base = results["rows"]["baseline"]
+    fi = results["rows"]["fi"]
+    # Paper shape row 1: training time is barely affected.
+    assert fi["train_time_s"] < base["train_time_s"] * 2.5
+    # Row 2: accuracy essentially unchanged.
+    assert abs(base["test_accuracy"] - fi["test_accuracy"]) < 0.15
+    # Row 3: FI-trained model is not more vulnerable (paper: it is less).
+    assert fi["campaign"].corruptions <= base["campaign"].corruptions * 1.3 + 5
+
+
+def test_training_step_overhead(benchmark):
+    """Per-step cost of the training-loop injector (the +24s of Table I)."""
+    from repro import models, nn, optim, tensor
+    from repro.nn import functional as F
+    from repro.robust import TrainingInjector
+
+    tensor.manual_seed(0)
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=tensor.spawn(1))
+    injector = TrainingInjector(net, batch_size=8, input_shape=(3, 32, 32), rng=2)
+    optimizer = optim.SGD(net.parameters(), lr=0.01)
+    x = tensor.randn(8, 3, 32, 32, rng=3)
+    labels = tensor.default_generator().integers(0, 10, size=8)
+
+    def step():
+        injector(net, 0, 0)
+        optimizer.zero_grad()
+        loss = F.cross_entropy(net(x), labels)
+        loss.backward()
+        optimizer.step()
+        return loss
+
+    loss = benchmark(step)
+    injector.remove()
+    assert loss.item() >= 0

@@ -1,0 +1,60 @@
+"""Resilience of adversarially-robust models (paper §IV-C, Fig. 6).
+
+Trains an AlexNet baseline and an IBP-adversarially-trained AlexNet
+(Eq. 1 with a curriculum on alpha and eps), then compares the fault-injection
+vulnerability of the first two conv layers — adversarial training should
+reduce early-layer vulnerability as a side-effect.
+
+Run:  python examples/adversarial_robustness.py
+"""
+
+from repro import models, tensor
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip
+from repro.data import make_dataset
+from repro.robust import train_ibp
+
+
+def early_layer_rate(model, dataset, seed):
+    corruptions = injections = 0
+    for layer in (0, 1):
+        campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                     batch_size=32, layer=layer, pool_size=192,
+                                     rng=seed + layer)
+        result = campaign.run(600)
+        corruptions += result.corruptions
+        injections += result.injections
+    return corruptions, injections
+
+
+def main():
+    dataset = make_dataset("cifar10", seed=0)
+    shared = dict(epochs=8, train_per_class=48, test_per_class=16, seed=5)
+
+    print("training baseline AlexNet ...")
+    tensor.manual_seed(1)
+    baseline = models.get_model("alexnet", "cifar10", scale="smoke", rng=tensor.spawn(2))
+    base = train_ibp(baseline, dataset, eps_max=0.0, alpha_max=0.0, **shared)
+
+    print("training IBP AlexNet (eps=0.125, alpha=0.1, curriculum ramp) ...")
+    tensor.manual_seed(1)
+    robust = models.get_model("alexnet", "cifar10", scale="smoke", rng=tensor.spawn(2))
+    ibp = train_ibp(robust, dataset, eps_max=0.125, alpha_max=0.1, **shared)
+
+    print("\nmeasuring first-two-layer vulnerability under bit flips ...")
+    base_c, base_n = early_layer_rate(baseline, dataset, seed=30)
+    ibp_c, ibp_n = early_layer_rate(robust, dataset, seed=30)
+
+    base_rate = base_c / base_n
+    ibp_rate = ibp_c / ibp_n
+    print(f"\n{'':22}{'baseline':>12}{'IBP':>12}")
+    print(f"{'clean accuracy':22}{base.test_accuracy:>12.1%}{ibp.test_accuracy:>12.1%}")
+    print(f"{'early-layer SDC rate':22}{base_rate:>12.4%}{ibp_rate:>12.4%}")
+    if base_rate > 0:
+        print(f"{'relative vulnerability':22}{'1.00':>12}{ibp_rate / base_rate:>12.2f}")
+    print("\npaper shape: IBP lowers early-layer vulnerability (up to ~4x); at this\n"
+          "tiny example scale the clean-accuracy cost can be substantial")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Injection-guided interpretability with Grad-CAM (paper §IV-E, Fig. 7).
+
+Trains a DenseNet, picks a correctly-classified image, and injects an
+egregiously large value (10,000) into the least- and most-sensitive feature
+maps of the last conv layer during the Grad-CAM forward pass.  The
+low-sensitivity injection barely moves the heatmap; the high-sensitivity one
+skews it — printed here as ASCII heatmaps.
+
+Run:  python examples/interpretability_gradcam.py
+"""
+
+import numpy as np
+
+from repro import tensor
+from repro.experiments.common import trained_model
+from repro.experiments.fig7_gradcam import _target_layer
+from repro.interpret import sensitivity_study
+from repro.tensor import Tensor, no_grad
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(heatmap, width=32):
+    """Render a [0,1] heatmap with ASCII shades."""
+    h = np.asarray(heatmap)
+    step = max(1, h.shape[0] * h.shape[1] // (width * width))
+    rows = []
+    for row in h[:: max(1, h.shape[0] // 16)]:
+        cells = row[:: max(1, len(row) // width)]
+        rows.append("".join(SHADES[min(int(v * (len(SHADES) - 1)), len(SHADES) - 1)]
+                            for v in cells))
+    return "\n".join(rows)
+
+
+def main():
+    tensor.manual_seed(0)
+    print("training DenseNet on synthetic CIFAR-10 (cached after first run) ...")
+    model, dataset, info = trained_model("densenet", "cifar10", scale="smoke", seed=0)
+    layer = _target_layer(model)
+    print(f"  Grad-CAM target layer: {layer}\n")
+
+    images, labels = dataset.sample(32, rng=1)
+    with no_grad():
+        predictions = model(Tensor(images)).data.argmax(axis=1)
+    correct = np.flatnonzero(predictions == labels)
+    image = images[correct[0]]
+
+    study = sensitivity_study(model, image, layer, inject_value=10_000.0)
+    clean = study["clean"]
+    print(f"clean prediction: class {clean.predicted_class} "
+          f"(score {clean.class_score:.2f})")
+    print(f"probed feature maps: least-sensitive #{study['low_fmap']}, "
+          f"most-sensitive #{study['high_fmap']}\n")
+
+    print("--- clean heatmap ---")
+    print(ascii_heatmap(clean.heatmap))
+    print(f"\n--- injection into least-sensitive fmap "
+          f"(divergence {study['low_divergence']:.4f}, "
+          f"class {study['low_sensitivity'].predicted_class}) ---")
+    print(ascii_heatmap(study["low_sensitivity"].heatmap))
+    print(f"\n--- injection into most-sensitive fmap "
+          f"(divergence {study['high_divergence']:.4f}, "
+          f"class {study['high_sensitivity'].predicted_class}) ---")
+    print(ascii_heatmap(study["high_sensitivity"].heatmap))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Training an inherently error-resilient model (paper §IV-D, Table I).
+
+Trains two ResNet18s from identical initial weights — one baseline, one
+with a random neuron per layer perturbed to U[-1, 1] during every training
+forward pass — then compares training time, accuracy, and post-training
+vulnerability under a bit-flip campaign.
+
+Run:  python examples/resilient_training.py
+"""
+
+from repro import models, tensor
+from repro.campaign import InjectionCampaign
+from repro.core import RandomValue, SingleBitFlip
+from repro.data import make_dataset
+from repro.robust import train_with_injection
+from repro.train import train_classifier
+
+
+def build_net(seed):
+    tensor.manual_seed(seed)
+    return models.get_model("resnet18", "cifar10", scale="smoke",
+                            rng=tensor.spawn(seed + 1))
+
+
+def main():
+    dataset = make_dataset("cifar10", seed=0)
+    shared = dict(epochs=5, train_per_class=32, test_per_class=16, seed=11)
+
+    print("training baseline ResNet18 ...")
+    baseline = build_net(3)
+    base_result = train_classifier(baseline, dataset, **shared)
+
+    print("training ResNet18 with per-step fault injection ...")
+    hardened = build_net(3)  # identical initial conditions
+    fi_result = train_with_injection(hardened, dataset,
+                                     error_model=RandomValue(-1, 1), rng=12, **shared)
+
+    print("\nrunning post-training bit-flip campaigns ...")
+    counts = {}
+    for name, net in (("baseline", baseline), ("fi-trained", hardened)):
+        net.eval()
+        campaign = InjectionCampaign(net, dataset, error_model=SingleBitFlip(),
+                                     batch_size=32, pool_size=192, rng=13,
+                                     network_name=name)
+        counts[name] = campaign.run(3000)
+
+    print(f"\n{'':24}{'baseline':>12}{'fi-trained':>12}")
+    print(f"{'training time (s)':24}{base_result.train_time_s:>12.1f}"
+          f"{fi_result.train_time_s:>12.1f}")
+    print(f"{'test accuracy':24}{base_result.test_accuracy:>12.2%}"
+          f"{fi_result.test_accuracy:>12.2%}")
+    print(f"{'misclass. (of 3000)':24}{counts['baseline'].corruptions:>12}"
+          f"{counts['fi-trained'].corruptions:>12}")
+    print("\npaper shape: ~equal time/accuracy, fewer misclassifications "
+          "for the FI-trained model")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Runtime overhead of the injector (paper §III-C, Fig. 3).
+
+Times a few zoo networks with and without a single neuron injection on both
+device code paths, plus the batch sweep — the tool should run at the native
+speed of the engine.
+
+Run:  python examples/runtime_overhead.py
+"""
+
+from repro import models, tensor
+from repro.perf import measure_overhead, sweep_batch_sizes
+
+
+def main():
+    tensor.manual_seed(0)
+    roster = (("alexnet", "cifar10"), ("resnet110", "cifar10"), ("vgg19", "cifar10"))
+    print("single random-neuron injection, batch size 1, 10 trials:\n")
+    for name, ds in roster:
+        _, size = models.dataset_preset(ds)
+        net = models.get_model(name, ds, scale="small", rng=tensor.spawn(1))
+        for device in ("cpu", "cuda"):
+            print(" ", measure_overhead(net, (3, size, size), trials=10, device=device,
+                                        network=name, dataset=ds, rng=2))
+
+    print("\nbatch sweep (overhead amortises across the batch):")
+    net = models.get_model("alexnet", "cifar10", scale="small", rng=tensor.spawn(1))
+    for m in sweep_batch_sizes(net, (3, 32, 32), batch_sizes=(1, 8, 32), trials=6,
+                               network="alexnet", dataset="cifar10", rng=3):
+        per_image = m.overhead_s / m.batch_size * 1e6
+        print(f"  batch {m.batch_size:>3}: base {m.base_mean_s * 1e3:7.2f}ms "
+              f"FI {m.fi_mean_s * 1e3:7.2f}ms "
+              f"({per_image:+7.1f}us per image)")
+
+
+if __name__ == "__main__":
+    main()

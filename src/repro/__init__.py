@@ -1,0 +1,25 @@
+"""Reproduction of "PyTorchFI: A Runtime Perturbation Tool for DNNs" (DSN 2020).
+
+Top-level layout
+----------------
+``repro.tensor``    numpy tensor engine with autograd (substrate)
+``repro.nn``        Module system with forward hooks, layers, losses
+``repro.optim``     SGD / Adam / LR schedules
+``repro.models``    the paper's 19-network zoo + TinyYOLOv3
+``repro.data``      synthetic CIFAR / TinyImageNet / COCO-like datasets
+``repro.quant``     INT8 neuron quantization (Fig. 4 path)
+``repro.core``      the paper's contribution: the fault-injection tool
+``repro.campaign``  large-scale injection campaigns + statistics
+``repro.detection`` box ops, NMS, detection-corruption metrics
+``repro.robust``    IBP adversarial training, FI-in-training-loop
+``repro.interpret`` Grad-CAM and injection-guided interpretability
+``repro.perf``      runtime-overhead measurement harness (Fig. 3)
+``repro.experiments`` one module per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from . import nn, tensor
+from .tensor import Tensor, manual_seed, no_grad
+
+__all__ = ["Tensor", "manual_seed", "nn", "no_grad", "tensor", "__version__"]

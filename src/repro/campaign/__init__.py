@@ -1,0 +1,30 @@
+"""Error-injection campaigns and their statistics (paper §IV-A, Fig. 4/6)."""
+
+from .criteria import (
+    CRITERIA,
+    ConfidenceDrop,
+    Top1Misclassification,
+    Top1NotInTopK,
+    as_criterion,
+)
+from .runner import CampaignResult, InjectionCampaign
+from .trace import InjectionEvent, InjectionTrace, margin
+from .stats import Proportion, normal_interval, required_trials, wilson_interval, z_score
+
+__all__ = [
+    "CRITERIA",
+    "CampaignResult",
+    "ConfidenceDrop",
+    "InjectionCampaign",
+    "InjectionEvent",
+    "InjectionTrace",
+    "margin",
+    "Proportion",
+    "Top1Misclassification",
+    "Top1NotInTopK",
+    "as_criterion",
+    "normal_interval",
+    "required_trials",
+    "wilson_interval",
+    "z_score",
+]

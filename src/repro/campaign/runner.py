@@ -1,0 +1,204 @@
+"""Injection-campaign orchestration (the §IV-A methodology).
+
+A campaign repeats: pick inputs the clean model classifies correctly,
+corrupt one random neuron per batch element, run the instrumented model,
+and score each element against a corruption criterion.  Results aggregate
+into overall and per-layer corruption rates with confidence intervals —
+the quantities behind Fig. 4 and Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import FaultInjection, SingleBitFlip
+from ..core.fault_injection import NeuronSite
+from ..core.injectors import _quant_for_layer, random_neuron_location
+from ..tensor import Tensor, no_grad
+from ..tensor import rng as _rng
+from .criteria import as_criterion
+from .stats import Proportion
+from .trace import margin
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of an injection campaign."""
+
+    network: str
+    criterion: str
+    injections: int
+    corruptions: int
+    confidence: float = 0.99
+    per_layer_injections: np.ndarray = field(default=None)
+    per_layer_corruptions: np.ndarray = field(default=None)
+
+    @property
+    def proportion(self):
+        return Proportion(self.corruptions, self.injections, self.confidence)
+
+    @property
+    def corruption_rate(self):
+        return self.proportion.rate
+
+    def layer_vulnerability(self, layer):
+        """Per-layer corruption proportion (None if that layer saw no injections)."""
+        n = int(self.per_layer_injections[layer])
+        if n == 0:
+            return None
+        return Proportion(int(self.per_layer_corruptions[layer]), n, self.confidence)
+
+    def __str__(self):
+        return (
+            f"CampaignResult({self.network}, {self.criterion}): "
+            f"corruption rate {self.proportion}"
+        )
+
+
+class InjectionCampaign:
+    """Run repeated randomized neuron injections against one model.
+
+    Parameters
+    ----------
+    model:
+        A trained classifier (left untouched: the campaign clones it once
+        and instruments/uninstruments the clone per batch of trials).
+    dataset:
+        A :class:`repro.data.SyntheticClassification` used to draw inputs.
+    error_model:
+        The perturbation model; defaults to a single random bit flip.
+    criterion:
+        Corruption criterion (name or callable), default Top-1
+        misclassification.
+    batch_size:
+        Injections performed per forward pass (each batch element gets its
+        own random location — the amortisation §III-C describes).
+    quantization:
+        Optional per-layer :class:`QuantizationParams` list; passed into
+        each injection so bit flips happen in the INT8 domain (Fig. 4).
+    layer:
+        Restrict injections to one instrumentable layer (per-layer
+        vulnerability studies, Fig. 6).
+    pool_size:
+        How many candidate inputs to pre-screen for clean correctness.
+    """
+
+    def __init__(self, model, dataset, error_model=None, criterion="top1", batch_size=16,
+                 input_shape=None, quantization=None, layer=None, pool_size=256,
+                 network_name="model", rng=None):
+        self.dataset = dataset
+        self.error_model = error_model if error_model is not None else SingleBitFlip()
+        self.criterion = as_criterion(criterion)
+        self.criterion_name = getattr(self.criterion, "name", str(criterion))
+        self.quantization = quantization
+        self.layer = layer
+        self.network_name = network_name
+        self.rng = _rng.coerce_generator(rng)
+        shape = input_shape if input_shape is not None else dataset.input_shape
+        self._work_model = model.clone()
+        self._work_model.eval()
+        self.fi = FaultInjection(self._work_model, batch_size=batch_size,
+                                 input_shape=shape, rng=self.rng)
+        self._build_pool(model, pool_size)
+
+    def _build_pool(self, model, pool_size):
+        """Pre-screen inputs: keep only ones the clean model gets right."""
+        images, labels = self.dataset.sample(pool_size, rng=self.rng)
+        was_training = model.training
+        model.eval()
+        keep_images, keep_labels, keep_logits = [], [], []
+        try:
+            with no_grad():
+                for start in range(0, len(images), 64):
+                    chunk = images[start : start + 64]
+                    chunk_labels = labels[start : start + 64]
+                    logits = model(Tensor(chunk)).data
+                    correct = logits.argmax(axis=1) == chunk_labels
+                    keep_images.append(chunk[correct])
+                    keep_labels.append(chunk_labels[correct])
+                    keep_logits.append(logits[correct])
+        finally:
+            model.train(was_training)
+        self.pool_images = np.concatenate(keep_images)
+        self.pool_labels = np.concatenate(keep_labels)
+        self.pool_logits = np.concatenate(keep_logits)
+        if len(self.pool_images) == 0:
+            raise ValueError(
+                "clean model classified no pool inputs correctly; train it before campaigning"
+            )
+        self.clean_accuracy = len(self.pool_images) / pool_size
+
+    def _sample_sites(self):
+        """One random neuron site per batch element (honouring self.layer)."""
+        sites = []
+        for b in range(self.fi.batch_size):
+            layer_idx, coords = random_neuron_location(self.fi, layer=self.layer, rng=self.rng)
+            sites.append(
+                NeuronSite(
+                    layer=layer_idx, batch=b, coords=coords, error_model=self.error_model,
+                    quantization=_quant_for_layer(self.quantization, layer_idx),
+                )
+            )
+        return sites
+
+    def run(self, n_injections, confidence=0.99, progress=None, trace=None):
+        """Perform ``n_injections`` randomized injections; aggregate results.
+
+        Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
+        to record one :class:`InjectionEvent` per injection (layer, coords,
+        outcome, decision-margin erosion).
+        """
+        if n_injections < 1:
+            raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+        batch = self.fi.batch_size
+        per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
+        per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
+        total = 0
+        corrupted_total = 0
+        while total < n_injections:
+            take = min(batch, n_injections - total)
+            idx = self.rng.integers(0, len(self.pool_images), size=batch)
+            sites = self._sample_sites()
+            model = self.fi.instrument(neuron_sites=sites, clone=False)
+            try:
+                # Injected values (especially exponent bit flips) legitimately
+                # overflow float32 downstream; that is the fault model, not a
+                # numerical bug, so the warnings are silenced here.
+                with no_grad(), np.errstate(all="ignore"):
+                    logits = model(Tensor(self.pool_images[idx])).data
+            finally:
+                self.fi.reset()
+            flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
+            if trace is not None:
+                margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
+                margins_after = margin(logits, self.pool_labels[idx])
+            for b in range(take):
+                per_layer_inj[sites[b].layer] += 1
+                if flags[b]:
+                    per_layer_cor[sites[b].layer] += 1
+                    corrupted_total += 1
+                if trace is not None:
+                    trace.record(
+                        layer=sites[b].layer,
+                        coords=sites[b].coords,
+                        batch_slot=b,
+                        label=int(self.pool_labels[idx][b]),
+                        predicted=int(logits[b].argmax()),
+                        corrupted=bool(flags[b]),
+                        margin_before=float(margins_before[b]),
+                        margin_after=float(margins_after[b]),
+                    )
+            total += take
+            if progress is not None:
+                progress(total, n_injections)
+        return CampaignResult(
+            network=self.network_name,
+            criterion=self.criterion_name,
+            injections=total,
+            corruptions=corrupted_total,
+            confidence=confidence,
+            per_layer_injections=per_layer_inj,
+            per_layer_corruptions=per_layer_cor,
+        )

@@ -1,0 +1,94 @@
+"""Statistics for injection campaigns.
+
+The paper reports "99% confidence interval error bars of <0.2%" from 107M
+injections; at laptop scale we run far fewer injections and must therefore
+report honest intervals.  Wilson's score interval is used (well-behaved for
+the small proportions typical of SDC rates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Two-sided normal quantiles for the confidence levels campaigns use.
+_Z = {0.90: 1.6448536, 0.95: 1.9599640, 0.99: 2.5758293}
+
+
+def z_score(confidence):
+    try:
+        return _Z[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(f"unsupported confidence {confidence}; have {sorted(_Z)}") from None
+
+
+def wilson_interval(successes, trials, confidence=0.99):
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    z = z_score(confidence)
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+    low = max(0.0, center - half)
+    high = min(1.0, center + half)
+    # At the boundaries the Wilson bound is exactly 0/1 but floating-point
+    # rounding can land a hair inside; snap so low <= p-hat <= high holds.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return low, high
+
+
+def normal_interval(successes, trials, confidence=0.99):
+    """Wald (normal-approximation) interval, for comparison with the paper."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    z = z_score(confidence)
+    p = successes / trials
+    half = z * math.sqrt(p * (1 - p) / trials)
+    return max(0.0, p - half), min(1.0, p + half)
+
+
+def required_trials(p, half_width, confidence=0.99):
+    """Trials needed for a +/- ``half_width`` Wald interval at proportion ``p``.
+
+    (Reproduces the paper's sample-size reasoning: ~1% SDC rate and a
+    <0.2% bar at 99% needs ~ tens of thousands of injections per network;
+    the authors' 107M total provides it many times over.)
+    """
+    z = z_score(confidence)
+    return math.ceil(z**2 * p * (1 - p) / half_width**2)
+
+
+@dataclass
+class Proportion:
+    """A measured binomial proportion with its confidence interval."""
+
+    successes: int
+    trials: int
+    confidence: float = 0.99
+
+    @property
+    def rate(self):
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def interval(self):
+        return wilson_interval(self.successes, self.trials, self.confidence)
+
+    @property
+    def half_width(self):
+        low, high = self.interval
+        return (high - low) / 2
+
+    def __str__(self):
+        low, high = self.interval
+        return (
+            f"{self.rate:.4%} [{low:.4%}, {high:.4%}] "
+            f"({self.successes}/{self.trials}, {self.confidence:.0%} CI)"
+        )

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-models``            show the model zoo and dataset presets
+``list-experiments``       show every reproducible figure/table + ablations
+``run <experiment>``       regenerate one figure/table (``--scale``, ``--seed``)
+``profile <model>``        print a model's FaultInjection layer table
+``inject <model>``         one-shot random injection demo on a zoo model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list_models(args):
+    from . import models
+
+    print("model zoo:")
+    for name in models.list_models():
+        print(f"  {name}")
+    print("  tiny_yolov3  (detector)")
+    print("\ndataset presets (classes, input size):")
+    for name, (classes, size) in sorted(models.DATASETS.items()):
+        print(f"  {name:<10} {classes:>4} classes  {size}x{size}")
+    print("\nFig. 3 roster pairs:", len(models.FIG3_ROSTER))
+    return 0
+
+
+def _cmd_list_experiments(args):
+    from .experiments import ALL_EXPERIMENTS
+
+    print("experiments (python -m repro run <name> [--scale ...]):")
+    for name, module in sorted(ALL_EXPERIMENTS.items()):
+        headline = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<22} {headline}")
+    return 0
+
+
+def _cmd_run(args):
+    from .experiments import ALL_EXPERIMENTS
+
+    try:
+        module = ALL_EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"have {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = module.run(scale=args.scale, seed=args.seed)
+    print(module.report(results))
+    return 0
+
+
+def _cmd_profile(args):
+    from . import models
+    from .core import FaultInjection
+    from .tensor import manual_seed, spawn
+
+    manual_seed(args.seed)
+    net = models.get_model(args.model, args.dataset, scale=args.scale, rng=spawn(1))
+    _, size = models.dataset_preset(args.dataset)
+    fi = FaultInjection(net, batch_size=1, input_shape=(3, size, size))
+    print(fi.summary())
+    print(f"\ntotal instrumentable layers: {fi.num_layers}")
+    print(f"total neurons per example:   {fi.total_neurons():,}")
+    print(f"total weights:               {fi.total_weights():,}")
+    print(f"trainable parameters:        {net.num_parameters():,}")
+    return 0
+
+
+def _cmd_inject(args):
+    from . import models, tensor
+    from .core import FaultInjection, SingleBitFlip, random_neuron_injection
+
+    tensor.manual_seed(args.seed)
+    net = models.get_model(args.model, args.dataset, scale=args.scale,
+                           rng=tensor.spawn(1))
+    net.eval()
+    _, size = models.dataset_preset(args.dataset)
+    fi = FaultInjection(net, batch_size=1, input_shape=(3, size, size),
+                        rng=args.seed)
+    x = tensor.randn(1, 3, size, size, rng=args.seed + 1)
+    with tensor.no_grad():
+        clean = net(x).data
+    corrupted, record = random_neuron_injection(fi, SingleBitFlip())
+    with tensor.no_grad(), np.errstate(all="ignore"):
+        perturbed = corrupted(x).data
+    fi.reset()
+    site = record.sites[0]
+    print(f"injected single bit flip at layer {site.layer} "
+          f"({fi.layer(site.layer).name}), coords {site.coords}")
+    print(f"clean Top-1:     {clean.argmax()}  (logit {clean.max():+.4f})")
+    print(f"perturbed Top-1: {perturbed.argmax()}  (logit {perturbed.max():+.4f})")
+    print(f"max |logit delta|: {np.abs(clean - perturbed).max():.6f}")
+    print("output corrupted:" , bool(clean.argmax() != perturbed.argmax()))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PyTorchFI (DSN 2020) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="show the model zoo").set_defaults(
+        fn=_cmd_list_models)
+    sub.add_parser("list-experiments", help="show reproducible figures/tables"
+                   ).set_defaults(fn=_cmd_list_experiments)
+
+    run_parser = sub.add_parser("run", help="regenerate one figure/table")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", choices=("smoke", "small", "paper"),
+                            default="small")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    for name, fn in (("profile", _cmd_profile), ("inject", _cmd_inject)):
+        p = sub.add_parser(name, help=f"{name} a zoo model")
+        p.add_argument("model")
+        p.add_argument("--dataset", default="cifar10")
+        p.add_argument("--scale", choices=("smoke", "small", "paper"), default="small")
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""The fault-injection tool — the paper's primary contribution.
+
+Three steps (paper §III-B): import, initialise :class:`FaultInjection` with
+your model, declare a perturbation.  See ``examples/quickstart.py``.
+"""
+
+from . import bitflip
+from .error_models import (
+    ErrorModel,
+    GaussianNoise,
+    InjectionContext,
+    MultiBitFlip,
+    QuantizationParams,
+    RandomValue,
+    ScaleValue,
+    SingleBitFlip,
+    StuckAt,
+    ZeroValue,
+    as_error_model,
+    make_context,
+)
+from .fault_injection import (
+    DEFAULT_LAYER_TYPES,
+    FaultInjection,
+    InjectionRecord,
+    LayerInfo,
+    NeuronSite,
+    WeightSite,
+)
+from .granularity import (
+    FeatureMapSite,
+    declare_feature_map_injection,
+    instrument_regions,
+    random_feature_map_injection,
+    random_layer_injection,
+)
+from .injectors import (
+    random_multi_neuron_injection,
+    random_neuron_injection,
+    random_neuron_injection_batched,
+    random_neuron_location,
+    random_weight_injection,
+    random_weight_location,
+)
+
+__all__ = [
+    "DEFAULT_LAYER_TYPES",
+    "ErrorModel",
+    "FaultInjection",
+    "FeatureMapSite",
+    "GaussianNoise",
+    "InjectionContext",
+    "InjectionRecord",
+    "LayerInfo",
+    "MultiBitFlip",
+    "NeuronSite",
+    "QuantizationParams",
+    "RandomValue",
+    "ScaleValue",
+    "SingleBitFlip",
+    "StuckAt",
+    "WeightSite",
+    "ZeroValue",
+    "as_error_model",
+    "bitflip",
+    "declare_feature_map_injection",
+    "instrument_regions",
+    "make_context",
+    "random_feature_map_injection",
+    "random_layer_injection",
+    "random_multi_neuron_injection",
+    "random_neuron_injection",
+    "random_neuron_injection_batched",
+    "random_neuron_location",
+    "random_weight_injection",
+    "random_weight_location",
+]

@@ -1,0 +1,87 @@
+"""Bit-level value manipulation for the bit-flip error models.
+
+The paper's default error-model library includes single bit flips in
+neurons and weights (§III-B step 3) and the Fig. 4 campaign flips bits in
+INT8-quantized neuron values.  These helpers operate on the raw bit pattern
+of numpy scalars/arrays: IEEE-754 for the float dtypes, two's complement for
+the integer dtypes.  Bit index 0 is the least-significant bit; index
+``width - 1`` is the sign bit (float) / MSB (int).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import dtypes as _dt
+
+_INT_VIEW = {
+    16: np.uint16,
+    32: np.uint32,
+    64: np.uint64,
+    8: np.uint8,
+}
+
+
+def _bits_view(values):
+    """Reinterpret ``values`` as an unsigned integer array of equal width."""
+    width = _dt.bit_width(values.dtype)
+    return values.view(_INT_VIEW[width]), width
+
+
+def float_to_bits(values):
+    """Unsigned-integer bit patterns of a float array (same shape)."""
+    values = np.asarray(values)
+    bits, _ = _bits_view(values)
+    return bits.copy()
+
+
+def bits_to_float(bits, dtype=np.float32):
+    """Inverse of :func:`float_to_bits`."""
+    dtype = np.dtype(dtype)
+    width = _dt.bit_width(dtype)
+    bits = np.asarray(bits, dtype=_INT_VIEW[width])
+    return bits.view(dtype).copy()
+
+
+def flip_bits(values, bit):
+    """Flip bit index ``bit`` in every element of ``values``.
+
+    ``bit`` may be a scalar or an array broadcastable to ``values.shape``.
+    Returns a new array of the same dtype; the input is not modified.
+    """
+    values = np.asarray(values)
+    out = values.copy()
+    bits, width = _bits_view(out)
+    bit_arr = np.asarray(bit)
+    if np.any(bit_arr < 0) or np.any(bit_arr >= width):
+        raise ValueError(f"bit index out of range for {width}-bit dtype: {bit}")
+    bits ^= np.left_shift(np.ones_like(bits), bit_arr.astype(bits.dtype))
+    return out
+
+
+def flip_random_bits(values, rng, exclude_sign=False):
+    """Flip one independently-random bit per element.
+
+    ``exclude_sign`` restricts flips to non-sign bits, a common variant in
+    resiliency studies where sign flips are modelled separately.
+    """
+    values = np.asarray(values)
+    width = _dt.bit_width(values.dtype)
+    high = width - 1 if exclude_sign else width
+    bit = rng.integers(0, high, size=values.shape)
+    return flip_bits(values, bit)
+
+
+def bit_string(value, dtype=np.float32):
+    """Human-readable bit pattern, MSB first (debugging / tests)."""
+    dtype = np.dtype(dtype)
+    width = _dt.bit_width(dtype)
+    scalar = np.asarray(value, dtype=dtype).reshape(())
+    bits = int(_bits_view(scalar.reshape(1))[0][0])
+    return format(bits, f"0{width}b")
+
+
+def sign_exponent_mantissa(value):
+    """Decompose a float32 scalar into (sign, exponent, mantissa) ints."""
+    bits = int(float_to_bits(np.float32(value)))
+    return (bits >> 31) & 0x1, (bits >> 23) & 0xFF, bits & 0x7FFFFF

@@ -1,0 +1,258 @@
+"""The perturbation-model library (paper §III-B step 3).
+
+An *error model* decides what value replaces the selected neuron/weight.
+The paper ships defaults — "a random value, a single bit flip, or zero
+value" — and stresses that users can supply custom models.  Here an error
+model is any callable::
+
+    model(original: np.ndarray, ctx: InjectionContext) -> np.ndarray
+
+``original`` holds the current values at the injection sites (flattened,
+one element per site) and the return array (same shape/dtype) holds the
+perturbed values.  ``ctx`` carries the RNG, the profiled layer record, and
+optional quantization parameters so bit flips can happen in the INT8 domain
+(the Fig. 4 path).
+
+Plain functions with the same signature work too; the classes below exist
+so models are configurable and introspectable in campaign reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import rng as _rng
+from . import bitflip
+
+
+@dataclass
+class QuantizationParams:
+    """Symmetric linear quantization description for one layer.
+
+    ``scale`` maps reals to integers: ``q = clip(round(x / scale))``.
+    """
+
+    scale: float
+    bits: int = 8
+
+    @property
+    def qmin(self):
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def qmax(self):
+        return 2 ** (self.bits - 1) - 1
+
+    def quantize(self, values):
+        q = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(q, self.qmin, self.qmax).astype(np.int8 if self.bits == 8 else np.int32)
+
+    def dequantize(self, q):
+        return (np.asarray(q, dtype=np.float32) * self.scale).astype(np.float32)
+
+
+@dataclass
+class InjectionContext:
+    """Everything an error model may need to compute replacement values."""
+
+    rng: np.random.Generator
+    layer: Optional[object] = None  # LayerInfo of the targeted layer
+    module: Optional[object] = None  # the targeted Module
+    quantization: Optional[QuantizationParams] = None
+    extra: dict = field(default_factory=dict)
+
+
+class ErrorModel:
+    """Base class for named, configurable perturbation models."""
+
+    name = "error_model"
+
+    def __call__(self, original, ctx):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class RandomValue(ErrorModel):
+    """Replace with a uniform random value in ``[low, high]``.
+
+    This is the paper's default model ("a uniform, random value between
+    [-1,1]", §III-C) and the model used for Fig. 3, Fig. 5 (with a wider
+    range), and the Table I training experiment.
+    """
+
+    name = "random_value"
+
+    def __init__(self, low=-1.0, high=1.0):
+        if not low <= high:
+            raise ValueError(f"low must be <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def __call__(self, original, ctx):
+        values = ctx.rng.uniform(self.low, self.high, size=original.shape)
+        return values.astype(original.dtype)
+
+    def __repr__(self):
+        return f"RandomValue(low={self.low}, high={self.high})"
+
+
+class ZeroValue(ErrorModel):
+    """Replace with zero (models a dropped/power-gated activation)."""
+
+    name = "zero_value"
+
+    def __call__(self, original, ctx):
+        return np.zeros_like(original)
+
+
+class StuckAt(ErrorModel):
+    """Replace with a fixed constant (e.g. the 10,000 used in Fig. 7)."""
+
+    name = "stuck_at"
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, original, ctx):
+        return np.full_like(original, self.value)
+
+    def __repr__(self):
+        return f"StuckAt(value={self.value})"
+
+
+class SingleBitFlip(ErrorModel):
+    """Flip one bit per selected value.
+
+    With ``bit=None`` the bit index is drawn uniformly per value.  If the
+    context carries :class:`QuantizationParams`, the flip happens in the
+    quantized integer domain and the result is dequantized — this is the
+    INT8 neuron bit-flip model of the Fig. 4 campaign.  Otherwise the flip
+    happens directly in the value's own (IEEE-754) representation.
+    """
+
+    name = "single_bit_flip"
+
+    def __init__(self, bit=None, exclude_sign=False):
+        self.bit = bit
+        self.exclude_sign = exclude_sign
+
+    def __call__(self, original, ctx):
+        quant = ctx.quantization
+        if quant is not None:
+            q = quant.quantize(original)
+            if self.bit is None:
+                flipped = bitflip.flip_random_bits(q, ctx.rng, exclude_sign=self.exclude_sign)
+            else:
+                flipped = bitflip.flip_bits(q, self.bit)
+            return quant.dequantize(flipped).astype(original.dtype)
+        if self.bit is None:
+            return bitflip.flip_random_bits(original, ctx.rng, exclude_sign=self.exclude_sign)
+        return bitflip.flip_bits(original, self.bit)
+
+    def __repr__(self):
+        return f"SingleBitFlip(bit={self.bit}, exclude_sign={self.exclude_sign})"
+
+
+class MultiBitFlip(ErrorModel):
+    """Flip ``n_bits`` distinct random bits per selected value."""
+
+    name = "multi_bit_flip"
+
+    def __init__(self, n_bits=2):
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        self.n_bits = int(n_bits)
+
+    def __call__(self, original, ctx):
+        from ..tensor.dtypes import bit_width
+
+        quant = ctx.quantization
+        values = ctx.quantization.quantize(original) if quant is not None else original.copy()
+        width = bit_width(values.dtype)
+        if self.n_bits > width:
+            raise ValueError(f"cannot flip {self.n_bits} distinct bits in a {width}-bit value")
+        flat = values.reshape(-1)
+        for i in range(flat.size):
+            bits = ctx.rng.choice(width, size=self.n_bits, replace=False)
+            element = flat[i : i + 1]
+            for b in bits:
+                element = bitflip.flip_bits(element, int(b))
+            flat[i] = element[0]
+        out = flat.reshape(values.shape)
+        if quant is not None:
+            return quant.dequantize(out).astype(original.dtype)
+        return out
+
+
+class GaussianNoise(ErrorModel):
+    """Additive Gaussian noise (a soft perturbation model)."""
+
+    name = "gaussian_noise"
+
+    def __init__(self, sigma=1.0, relative=False):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+        self.relative = bool(relative)
+
+    def __call__(self, original, ctx):
+        noise = ctx.rng.normal(0.0, self.sigma, size=original.shape).astype(original.dtype)
+        if self.relative:
+            return original * (1 + noise)
+        return original + noise
+
+    def __repr__(self):
+        return f"GaussianNoise(sigma={self.sigma}, relative={self.relative})"
+
+
+class ScaleValue(ErrorModel):
+    """Multiply by a constant (models gain faults)."""
+
+    name = "scale_value"
+
+    def __init__(self, factor):
+        self.factor = float(factor)
+
+    def __call__(self, original, ctx):
+        return (original * self.factor).astype(original.dtype)
+
+
+def as_error_model(spec):
+    """Coerce a spec into an error-model callable.
+
+    Accepts: an existing callable; a number (behaves like :class:`StuckAt`);
+    or one of the string names ``"random_value"``, ``"zero"``,
+    ``"single_bit_flip"``.
+    """
+    if callable(spec):
+        return spec
+    if isinstance(spec, (int, float)):
+        return StuckAt(spec)
+    if isinstance(spec, str):
+        registry = {
+            "random_value": RandomValue,
+            "zero": ZeroValue,
+            "zero_value": ZeroValue,
+            "single_bit_flip": SingleBitFlip,
+        }
+        try:
+            return registry[spec]()
+        except KeyError:
+            raise ValueError(f"unknown error model name {spec!r}") from None
+    raise TypeError(f"cannot interpret {spec!r} as an error model")
+
+
+def make_context(rng=None, layer=None, module=None, quantization=None, **extra):
+    """Convenience constructor used by the injector and tests."""
+    return InjectionContext(
+        rng=_rng.coerce_generator(rng),
+        layer=layer,
+        module=module,
+        quantization=quantization,
+        extra=dict(extra),
+    )

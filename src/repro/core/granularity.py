@@ -1,0 +1,152 @@
+"""Coarser-granularity injections: feature-map level and layer level.
+
+The paper's §IV-A closes by proposing "evaluating resilience of a model at
+coarser granularity (via layer or feature map level error injections) to
+gain insights into why some models are more resilient than others, and use
+the results for low-cost selective protection".  This module provides that
+capability on top of :class:`~repro.core.fault_injection.FaultInjection`:
+
+* a *feature-map* injection perturbs every neuron of one output channel;
+* a *layer* injection perturbs every neuron of every channel in one layer.
+
+Both reuse the error-model protocol (the model receives the flattened
+original values of the perturbed region), so ``RandomValue``,
+``SingleBitFlip`` etc. apply element-wise across the region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import rng as _rng
+from .error_models import InjectionContext, as_error_model
+from .fault_injection import InjectionRecord
+
+
+@dataclass
+class FeatureMapSite:
+    """Perturb one whole feature map (channel) of one layer's output.
+
+    ``fmap=None`` widens the region to the entire layer output (layer-level
+    injection).  ``batch=-1`` applies to every element of the batch.
+    """
+
+    layer: int
+    batch: int = -1
+    fmap: int = None
+    error_model: object = None
+    quantization: object = None
+
+
+def _validate_fmap_site(fi, site):
+    info = fi.layer(site.layer)
+    if len(info.neuron_shape) < 1:
+        raise ValueError(f"layer {site.layer} has no channel dimension")
+    channels = info.neuron_shape[0]
+    if site.fmap is not None and not 0 <= site.fmap < channels:
+        raise ValueError(
+            f"feature map {site.fmap} out of range [0, {channels}) "
+            f"on layer {site.layer} ({info.name})"
+        )
+    if site.batch != -1 and not 0 <= site.batch < fi.batch_size:
+        raise ValueError(
+            f"batch index {site.batch} out of range for batch_size {fi.batch_size}"
+        )
+
+
+def _make_region_hook(fi, sites, layer_info):
+    """Forward hook realising whole-region (fmap / layer) perturbations."""
+    engine_rng = fi.rng
+
+    def hook(module, inputs, output):
+        data = output.data
+        result = output
+        for site in sites:
+            batch_index = slice(None) if site.batch == -1 else site.batch
+            if site.fmap is None:
+                index = (batch_index, Ellipsis)
+            else:
+                index = (batch_index, site.fmap, Ellipsis)
+            original = data[index]
+            ctx = InjectionContext(
+                rng=engine_rng, layer=layer_info, module=module,
+                quantization=site.quantization,
+            )
+            replacement = site.error_model(
+                np.ascontiguousarray(original).reshape(-1), ctx
+            ).reshape(original.shape)
+            result = result.inject_values(index, replacement)
+            data = result.data
+        return result
+
+    return hook
+
+
+def declare_feature_map_injection(fi, layer_num, fmap=None, batch=-1, function=None,
+                                  value=None, quantization=None, clone=True):
+    """Instrument a model with a feature-map- or layer-level injection.
+
+    ``fmap=None`` perturbs the whole layer.  Returns the corrupted model.
+    """
+    if function is None and value is None:
+        raise ValueError("provide an error model via function= or a constant via value=")
+    if function is not None and value is not None:
+        raise ValueError("function= and value= are mutually exclusive")
+    model_fn = as_error_model(function if function is not None else float(value))
+    site = FeatureMapSite(layer=int(layer_num), batch=batch,
+                          fmap=None if fmap is None else int(fmap),
+                          error_model=model_fn, quantization=quantization)
+    _validate_fmap_site(fi, site)
+    return instrument_regions(fi, [site], clone=clone)
+
+
+def instrument_regions(fi, sites, clone=True):
+    """Attach :class:`FeatureMapSite` records to a (cloned) model."""
+    target = fi.model.clone() if clone else fi.model
+    modules = [m for _, m in fi._iter_instrumentable(target)]
+    if len(modules) != fi.num_layers:
+        raise RuntimeError("instrumentable layer count changed since profiling")
+    by_layer = {}
+    for site in sites:
+        _validate_fmap_site(fi, site)
+        by_layer.setdefault(site.layer, []).append(site)
+    handles = []
+    for layer_idx, layer_sites in by_layer.items():
+        hook = _make_region_hook(fi, layer_sites, fi.layer(layer_idx))
+        handles.append(modules[layer_idx].register_forward_hook(hook))
+    fi._corrupted.append((target, handles, []))
+    return target
+
+
+def random_feature_map_injection(fi, error_model=None, batch=-1, layer=None, rng=None,
+                                 clone=True, quantization=None):
+    """Corrupt one random feature map; returns ``(model, record)``."""
+    from .error_models import RandomValue
+
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    error_model = as_error_model(error_model) if error_model is not None else RandomValue()
+    if layer is None:
+        layer = int(gen.integers(0, fi.num_layers))
+    channels = fi.layer(layer).neuron_shape[0]
+    fmap = int(gen.integers(0, channels))
+    site = FeatureMapSite(layer=layer, batch=batch, fmap=fmap,
+                          error_model=error_model, quantization=quantization)
+    model = instrument_regions(fi, [site], clone=clone)
+    return model, InjectionRecord(kind="feature_map", sites=[site])
+
+
+def random_layer_injection(fi, error_model=None, batch=-1, layer=None, rng=None,
+                           clone=True, quantization=None):
+    """Corrupt one whole random layer output; returns ``(model, record)``."""
+    from .error_models import RandomValue
+
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    error_model = as_error_model(error_model) if error_model is not None else RandomValue()
+    if layer is None:
+        layer = int(gen.integers(0, fi.num_layers))
+    site = FeatureMapSite(layer=layer, batch=batch, fmap=None,
+                          error_model=error_model, quantization=quantization)
+    model = instrument_regions(fi, [site], clone=clone)
+    return model, InjectionRecord(kind="layer", sites=[site])

@@ -1,0 +1,137 @@
+"""Convenience injectors: random locations + one-call corrupted models.
+
+These wrap :class:`~repro.core.fault_injection.FaultInjection` the way the
+pytorchfi ``neuron_error_models``/``weight_error_models`` helpers wrap its
+core, and they implement the sampling policies the paper's campaigns use:
+
+* ``random_neuron_location`` — one neuron anywhere in the network, sampled
+  either proportionally to layer size (a uniform choice over *all* neurons,
+  used by the Fig. 4 campaign: "a randomly selected neuron in the DNN") or
+  uniformly over layers.
+* ``random_multi_neuron_injection`` — one neuron *per layer* (the Fig. 5
+  object-detection error model).
+* batched variants giving each batch element its own perturbation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import rng as _rng
+from .error_models import RandomValue
+from .fault_injection import InjectionRecord, NeuronSite, WeightSite
+
+
+def _quant_for_layer(quantization, layer_idx):
+    """Resolve a quantization spec that may be per-layer (sequence) or shared."""
+    if isinstance(quantization, (list, tuple)):
+        return quantization[layer_idx]
+    return quantization
+
+
+def random_neuron_location(fi, layer=None, rng=None, strategy="proportional"):
+    """Sample ``(layer, coords)`` for one neuron.
+
+    ``strategy="proportional"`` draws uniformly over all neurons in the
+    network; ``"uniform_layer"`` first picks a layer uniformly, then a
+    neuron within it.
+    """
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    if layer is None:
+        if strategy == "proportional":
+            weights = np.array([info.neurons_per_example for info in fi.layers], dtype=np.float64)
+            layer = int(gen.choice(len(fi.layers), p=weights / weights.sum()))
+        elif strategy == "uniform_layer":
+            layer = int(gen.integers(0, fi.num_layers))
+        else:
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+    shape = fi.layer(layer).neuron_shape
+    coords = tuple(int(gen.integers(0, bound)) for bound in shape)
+    return layer, coords
+
+
+def random_weight_location(fi, layer=None, rng=None, strategy="proportional"):
+    """Sample ``(layer, coords)`` for one weight element."""
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    candidates = [info for info in fi.layers if info.weight_shape]
+    if not candidates:
+        raise ValueError("no instrumentable layer has weights")
+    if layer is None:
+        if strategy == "proportional":
+            weights = np.array([info.weights for info in candidates], dtype=np.float64)
+            picked = candidates[int(gen.choice(len(candidates), p=weights / weights.sum()))]
+        elif strategy == "uniform_layer":
+            picked = candidates[int(gen.integers(0, len(candidates)))]
+        else:
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+        layer = picked.index
+    shape = fi.layer(layer).weight_shape
+    coords = tuple(int(gen.integers(0, bound)) for bound in shape)
+    return layer, coords
+
+
+def random_neuron_injection(fi, error_model=None, batch=-1, layer=None, rng=None,
+                            strategy="proportional", quantization=None, clone=True):
+    """Corrupt one random neuron (same location for the whole batch).
+
+    Returns ``(corrupted_model, record)``.  This is the paper's Fig. 3 /
+    Fig. 4 single-injection primitive.
+    """
+    error_model = error_model if error_model is not None else RandomValue(-1.0, 1.0)
+    layer_idx, coords = random_neuron_location(fi, layer=layer, rng=rng, strategy=strategy)
+    site = NeuronSite(layer=layer_idx, batch=batch, coords=coords,
+                      error_model=error_model,
+                      quantization=_quant_for_layer(quantization, layer_idx))
+    fi._validate_neuron_site(site)
+    model = fi.instrument(neuron_sites=[site], clone=clone)
+    return model, InjectionRecord(kind="neuron", sites=[site])
+
+
+def random_neuron_injection_batched(fi, error_model=None, rng=None,
+                                    strategy="proportional", quantization=None, clone=True):
+    """A different random neuron for every batch element (paper §III-B)."""
+    error_model = error_model if error_model is not None else RandomValue(-1.0, 1.0)
+    sites = []
+    for b in range(fi.batch_size):
+        layer_idx, coords = random_neuron_location(fi, rng=rng, strategy=strategy)
+        site = NeuronSite(layer=layer_idx, batch=b, coords=coords,
+                          error_model=error_model,
+                          quantization=_quant_for_layer(quantization, layer_idx))
+        fi._validate_neuron_site(site)
+        sites.append(site)
+    model = fi.instrument(neuron_sites=sites, clone=clone)
+    return model, InjectionRecord(kind="neuron", sites=sites)
+
+
+def random_multi_neuron_injection(fi, error_model=None, per_layer=1, batch=-1, rng=None,
+                                  quantization=None, clone=True):
+    """One (or ``per_layer``) random neurons in *every* layer.
+
+    This is the Fig. 5 object-detection error model: "one neuron
+    perturbation per layer, each with a uniformly chosen random value".
+    """
+    error_model = error_model if error_model is not None else RandomValue(-1.0, 1.0)
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    sites = []
+    for info in fi.layers:
+        for _ in range(per_layer):
+            coords = tuple(int(gen.integers(0, bound)) for bound in info.neuron_shape)
+            site = NeuronSite(layer=info.index, batch=batch, coords=coords,
+                              error_model=error_model,
+                              quantization=_quant_for_layer(quantization, info.index))
+            fi._validate_neuron_site(site)
+            sites.append(site)
+    model = fi.instrument(neuron_sites=sites, clone=clone)
+    return model, InjectionRecord(kind="neuron", sites=sites)
+
+
+def random_weight_injection(fi, error_model=None, layer=None, rng=None,
+                            strategy="proportional", quantization=None, clone=True):
+    """Corrupt one random weight offline; returns ``(model, record)``."""
+    error_model = error_model if error_model is not None else RandomValue(-1.0, 1.0)
+    layer_idx, coords = random_weight_location(fi, layer=layer, rng=rng, strategy=strategy)
+    site = WeightSite(layer=layer_idx, coords=coords, error_model=error_model,
+                      quantization=quantization)
+    fi._validate_weight_site(site)
+    model = fi.instrument(weight_sites=[site], clone=clone)
+    return model, InjectionRecord(kind="weight", sites=[site])

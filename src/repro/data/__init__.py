@@ -1,0 +1,18 @@
+"""Synthetic datasets (classification + detection) and batching utilities.
+
+Stand-ins for the paper's CIFAR10/CIFAR100/ImageNet/COCO datasets; see
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from .detection import CLASS_NAMES, Scene, SyntheticDetection
+from .loader import DataLoader
+from .synthetic import SyntheticClassification, make_dataset
+
+__all__ = [
+    "CLASS_NAMES",
+    "DataLoader",
+    "Scene",
+    "SyntheticClassification",
+    "SyntheticDetection",
+    "make_dataset",
+]

@@ -1,0 +1,47 @@
+"""Minimal batching data loader over in-memory arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import rng as _rng
+
+
+class DataLoader:
+    """Iterate ``(Tensor images, ndarray labels)`` batches over arrays.
+
+    ``drop_last`` defaults to True so every batch has the declared batch
+    size, which the fault injector's batch-index validation relies on.
+    """
+
+    def __init__(self, images, labels, batch_size=32, shuffle=False, drop_last=True, rng=None):
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) disagree")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.images = images
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = _rng.coerce_generator(rng)
+
+    def __len__(self):
+        n = len(self.images)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = np.arange(len(self.images))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        limit = len(self) * self.batch_size if self.drop_last else len(order)
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if not len(idx):
+                break
+            yield Tensor(self.images[idx]), self.labels[idx]

@@ -1,0 +1,29 @@
+"""Object-detection substrate: boxes, NMS, YOLO decode/loss, corruption metrics."""
+
+from .boxes import box_area, clip_boxes, iou_matrix, nms, xywh_to_xyxy, xyxy_to_xywh
+from .decode import Detections, decode, decode_head
+from .map_eval import APResult, average_precision, mean_average_precision
+from .loss import DetectorTrainResult, build_targets, train_detector, yolo_loss
+from .metrics import DetectionDiff, detection_f1, match_detections
+
+__all__ = [
+    "APResult",
+    "DetectionDiff",
+    "Detections",
+    "DetectorTrainResult",
+    "box_area",
+    "average_precision",
+    "build_targets",
+    "clip_boxes",
+    "decode",
+    "decode_head",
+    "detection_f1",
+    "iou_matrix",
+    "match_detections",
+    "mean_average_precision",
+    "nms",
+    "train_detector",
+    "xywh_to_xyxy",
+    "xyxy_to_xywh",
+    "yolo_loss",
+]

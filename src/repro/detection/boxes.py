@@ -1,0 +1,72 @@
+"""Axis-aligned box utilities: format conversion, IoU, NMS."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xywh_to_xyxy(boxes):
+    """Convert ``(cx, cy, w, h)`` boxes to ``(x1, y1, x2, y2)``."""
+    boxes = np.asarray(boxes, dtype=np.float32)
+    out = boxes.copy()
+    out[..., 0] = boxes[..., 0] - boxes[..., 2] / 2
+    out[..., 1] = boxes[..., 1] - boxes[..., 3] / 2
+    out[..., 2] = boxes[..., 0] + boxes[..., 2] / 2
+    out[..., 3] = boxes[..., 1] + boxes[..., 3] / 2
+    return out
+
+
+def xyxy_to_xywh(boxes):
+    """Convert ``(x1, y1, x2, y2)`` boxes to ``(cx, cy, w, h)``."""
+    boxes = np.asarray(boxes, dtype=np.float32)
+    out = boxes.copy()
+    out[..., 0] = (boxes[..., 0] + boxes[..., 2]) / 2
+    out[..., 1] = (boxes[..., 1] + boxes[..., 3]) / 2
+    out[..., 2] = boxes[..., 2] - boxes[..., 0]
+    out[..., 3] = boxes[..., 3] - boxes[..., 1]
+    return out
+
+
+def box_area(boxes):
+    boxes = np.asarray(boxes, dtype=np.float32)
+    return np.clip(boxes[..., 2] - boxes[..., 0], 0, None) * np.clip(
+        boxes[..., 3] - boxes[..., 1], 0, None
+    )
+
+
+def iou_matrix(boxes_a, boxes_b):
+    """Pairwise IoU between two xyxy box sets: shape ``(len(a), len(b))``."""
+    a = np.asarray(boxes_a, dtype=np.float32).reshape(-1, 4)
+    b = np.asarray(boxes_b, dtype=np.float32).reshape(-1, 4)
+    if len(a) == 0 or len(b) == 0:
+        return np.zeros((len(a), len(b)), dtype=np.float32)
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    union = box_area(a)[:, None] + box_area(b)[None, :] - inter
+    return np.where(union > 0, inter / union, 0.0).astype(np.float32)
+
+
+def nms(boxes, scores, iou_threshold=0.45):
+    """Greedy non-maximum suppression; returns kept indices (score order)."""
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    if len(boxes) != len(scores):
+        raise ValueError(f"boxes ({len(boxes)}) and scores ({len(scores)}) disagree")
+    order = np.argsort(-scores)
+    keep = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    ious = iou_matrix(boxes, boxes)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        suppressed |= ious[idx] > iou_threshold
+    return np.asarray(keep, dtype=np.int64)
+
+
+def clip_boxes(boxes, image_size):
+    """Clip xyxy boxes to ``[0, image_size]``."""
+    return np.clip(np.asarray(boxes, dtype=np.float32), 0, float(image_size))

@@ -1,0 +1,112 @@
+"""YOLO prediction decoding: raw head maps -> scored, NMS-filtered boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import clip_boxes, nms, xywh_to_xyxy
+
+
+@dataclass
+class Detections:
+    """Decoded detections for one image."""
+
+    boxes: np.ndarray  # (N, 4) xyxy pixels
+    scores: np.ndarray  # (N,) objectness * class prob
+    labels: np.ndarray  # (N,) int64
+
+    def __len__(self):
+        return len(self.boxes)
+
+    @classmethod
+    def empty(cls):
+        return cls(
+            boxes=np.zeros((0, 4), dtype=np.float32),
+            scores=np.zeros(0, dtype=np.float32),
+            labels=np.zeros(0, dtype=np.int64),
+        )
+
+
+def _sigmoid(x):
+    # Perturbed heads legitimately carry huge logits; exp overflow saturates
+    # to 0/1, which is the desired behaviour.
+    with np.errstate(over="ignore"):
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+def decode_head(raw, anchors, stride, num_classes, image_size):
+    """Decode one raw head map ``(N, A*(5+C), H, W)`` to per-image arrays.
+
+    Returns ``(boxes[N,M,4] xyxy, obj[N,M], cls_probs[N,M,C])`` with
+    ``M = A*H*W``.  Box decoding follows YOLOv3: sigmoid cell offsets plus
+    exp anchor scaling; ``tw/th`` are clipped before exponentiation so a
+    perturbed network yields huge-but-finite phantom boxes instead of
+    overflow (matching how egregious Fig. 5 outputs remain renderable).
+    """
+    n, channels, h, w = raw.shape
+    num_anchors = len(anchors)
+    if channels != num_anchors * (5 + num_classes):
+        raise ValueError(
+            f"head channels {channels} != anchors {num_anchors} * (5 + {num_classes})"
+        )
+    pred = raw.reshape(n, num_anchors, 5 + num_classes, h, w)
+    grid_y, grid_x = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    cx = (_sigmoid(pred[:, :, 0]) + grid_x[None, None]) * stride
+    cy = (_sigmoid(pred[:, :, 1]) + grid_y[None, None]) * stride
+    anchor_w = np.asarray([a[0] for a in anchors], dtype=np.float32)[None, :, None, None]
+    anchor_h = np.asarray([a[1] for a in anchors], dtype=np.float32)[None, :, None, None]
+    bw = np.exp(np.clip(pred[:, :, 2], -9, 9)) * anchor_w
+    bh = np.exp(np.clip(pred[:, :, 3], -9, 9)) * anchor_h
+    obj = _sigmoid(pred[:, :, 4])
+    cls = _sigmoid(pred[:, :, 5:])  # independent logistic per class (YOLOv3)
+    boxes = np.stack([cx, cy, bw, bh], axis=-1)  # (N, A, H, W, 4)
+    boxes = xywh_to_xyxy(boxes.reshape(n, -1, 4))
+    boxes = clip_boxes(boxes, image_size)
+    obj = obj.reshape(n, -1)
+    cls = cls.transpose(0, 1, 3, 4, 2).reshape(n, -1, num_classes)
+    return boxes, obj, cls
+
+
+def decode(outputs, model, conf_threshold=0.5, iou_threshold=0.45):
+    """Decode a TinyYOLOv3 forward result into per-image :class:`Detections`.
+
+    ``outputs`` is the list of raw head tensors (or ndarrays) returned by
+    the model; ``model`` supplies anchors, strides, class count and image
+    size.
+    """
+    arrays = [o.data if hasattr(o, "data") else np.asarray(o) for o in outputs]
+    all_boxes, all_obj, all_cls = [], [], []
+    for raw, anchors, stride in zip(arrays, model.anchors, model.strides):
+        boxes, obj, cls = decode_head(raw, anchors, stride, model.num_classes,
+                                      model.image_size)
+        all_boxes.append(boxes)
+        all_obj.append(obj)
+        all_cls.append(cls)
+    boxes = np.concatenate(all_boxes, axis=1)
+    obj = np.concatenate(all_obj, axis=1)
+    cls = np.concatenate(all_cls, axis=1)
+    results = []
+    for i in range(boxes.shape[0]):
+        labels = cls[i].argmax(axis=1)
+        scores = obj[i] * cls[i].max(axis=1)
+        keep = scores >= conf_threshold
+        if not keep.any():
+            results.append(Detections.empty())
+            continue
+        kept_boxes = boxes[i][keep]
+        kept_scores = scores[keep]
+        kept_labels = labels[keep]
+        # Class-aware NMS: offset boxes per class so they never suppress
+        # across classes.
+        offset = kept_labels[:, None].astype(np.float32) * (2.0 * model.image_size)
+        nms_keep = nms(kept_boxes + offset, kept_scores, iou_threshold)
+        results.append(
+            Detections(
+                boxes=kept_boxes[nms_keep],
+                scores=kept_scores[nms_keep],
+                labels=kept_labels[nms_keep].astype(np.int64),
+            )
+        )
+    return results

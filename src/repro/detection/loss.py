@@ -1,0 +1,172 @@
+"""YOLOv3 training loss and a compact detector training loop.
+
+Assignment follows YOLOv3: each ground-truth box is matched to the single
+anchor (across both heads) whose shape best matches it; that anchor's cell
+at the box centre becomes the positive site.  The loss combines coordinate
+regression (MSE on sigmoid-offsets and log-scale sizes), objectness BCE
+(down-weighted negatives) and per-class BCE.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import optim
+from ..nn import functional as F
+from ..tensor import Tensor
+from ..tensor import rng as _rng
+from .boxes import xyxy_to_xywh
+
+
+def _sigmoid_np(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _anchor_iou(wh, anchors):
+    """IoU of a (w, h) against each anchor assuming shared centres."""
+    w, h = wh
+    aw = np.asarray([a[0] for a in anchors], dtype=np.float32)
+    ah = np.asarray([a[1] for a in anchors], dtype=np.float32)
+    inter = np.minimum(w, aw) * np.minimum(h, ah)
+    union = w * h + aw * ah - inter
+    return inter / np.maximum(union, 1e-9)
+
+
+def build_targets(gt_boxes_list, gt_labels_list, model, head_shapes):
+    """Per-head target arrays for a batch.
+
+    Returns, per head: ``(pos_index, txy, twh, cls_ids, obj_target)`` where
+    ``pos_index = (img, anchor, gy, gx)`` arrays select the positive cells.
+    """
+    flat_anchors = [a for head in model.anchors for a in head]
+    head_of_anchor = [hi for hi, head in enumerate(model.anchors) for _ in head]
+    index_in_head = [ai for head in model.anchors for ai in range(len(head))]
+    targets = []
+    for head_idx, (h, w) in enumerate(head_shapes):
+        targets.append({
+            "img": [], "anchor": [], "gy": [], "gx": [],
+            "txy": [], "twh": [], "cls": [],
+            "obj": np.zeros((len(gt_boxes_list), len(model.anchors[head_idx]), h, w),
+                            dtype=np.float32),
+        })
+    for img_idx, (boxes, labels) in enumerate(zip(gt_boxes_list, gt_labels_list)):
+        if len(boxes) == 0:
+            continue
+        xywh = xyxy_to_xywh(boxes)
+        for (cx, cy, bw, bh), label in zip(xywh, labels):
+            ious = _anchor_iou((bw, bh), flat_anchors)
+            best = int(ious.argmax())
+            head_idx = head_of_anchor[best]
+            anchor_idx = index_in_head[best]
+            stride = model.strides[head_idx]
+            h, w = targets[head_idx]["obj"].shape[2:]
+            gx = min(int(cx / stride), w - 1)
+            gy = min(int(cy / stride), h - 1)
+            anchor_w, anchor_h = model.anchors[head_idx][anchor_idx]
+            record = targets[head_idx]
+            record["img"].append(img_idx)
+            record["anchor"].append(anchor_idx)
+            record["gy"].append(gy)
+            record["gx"].append(gx)
+            record["txy"].append((cx / stride - gx, cy / stride - gy))
+            record["twh"].append(
+                (np.log(max(bw, 1e-3) / anchor_w), np.log(max(bh, 1e-3) / anchor_h))
+            )
+            record["cls"].append(int(label))
+            record["obj"][img_idx, anchor_idx, gy, gx] = 1.0
+    out = []
+    for record in targets:
+        pos = tuple(
+            np.asarray(record[k], dtype=np.int64) for k in ("img", "anchor", "gy", "gx")
+        )
+        out.append(
+            (
+                pos,
+                np.asarray(record["txy"], dtype=np.float32).reshape(-1, 2),
+                np.asarray(record["twh"], dtype=np.float32).reshape(-1, 2),
+                np.asarray(record["cls"], dtype=np.int64),
+                record["obj"],
+            )
+        )
+    return out
+
+
+def yolo_loss(outputs, gt_boxes_list, gt_labels_list, model, lambda_coord=5.0,
+              lambda_noobj=0.5, lambda_cls=1.0):
+    """Differentiable YOLOv3 loss over a batch (returns a scalar Tensor)."""
+    head_shapes = [tuple(o.shape[2:]) for o in outputs]
+    targets = build_targets(gt_boxes_list, gt_labels_list, model, head_shapes)
+    total = None
+    n_images = outputs[0].shape[0]
+    for raw, anchors, (pos, txy, twh, cls_ids, obj_target) in zip(
+        outputs, model.anchors, targets
+    ):
+        n, _, h, w = raw.shape
+        num_anchors = len(anchors)
+        pred = raw.reshape(n, num_anchors, 5 + model.num_classes, h, w)
+        obj_logits = pred[:, :, 4]
+        # Objectness: BCE everywhere, negatives down-weighted.
+        weights = np.where(obj_target > 0, 1.0, lambda_noobj).astype(np.float32)
+        obj_bce = F.binary_cross_entropy_with_logits(
+            obj_logits, Tensor(obj_target), reduction="none"
+        )
+        head_loss = (obj_bce * Tensor(weights)).sum()
+        if len(pos[0]):
+            img_i, anc_i, gy_i, gx_i = pos
+            xy_pred = pred[img_i, anc_i, 0:2, gy_i, gx_i].sigmoid()
+            wh_pred = pred[img_i, anc_i, 2:4, gy_i, gx_i]
+            coord = ((xy_pred - Tensor(txy)) ** 2).sum() + ((wh_pred - Tensor(twh)) ** 2).sum()
+            cls_logits = pred[img_i, anc_i, 5:, gy_i, gx_i]
+            cls_target = np.zeros((len(cls_ids), model.num_classes), dtype=np.float32)
+            cls_target[np.arange(len(cls_ids)), cls_ids] = 1.0
+            cls_bce = F.binary_cross_entropy_with_logits(
+                cls_logits, Tensor(cls_target), reduction="sum"
+            )
+            head_loss = head_loss + lambda_coord * coord + lambda_cls * cls_bce
+        total = head_loss if total is None else total + head_loss
+    return total / n_images
+
+
+@dataclass
+class DetectorTrainResult:
+    epochs: int
+    train_time_s: float
+    final_loss: float
+
+
+def train_detector(model, dataset, epochs=10, batch_size=8, n_scenes=64, lr=1e-3,
+                   seed=0, verbose=False):
+    """Train a TinyYOLOv3 on synthetic scenes with Adam."""
+    gen = _rng.coerce_generator(seed)
+    images, boxes_list, labels_list = dataset.sample_batch(n_scenes, rng=gen)
+    optimizer = optim.Adam(model.parameters(), lr=lr)
+    final = float("nan")
+    start = time.perf_counter()
+    for epoch in range(epochs):
+        model.train()
+        order = gen.permutation(n_scenes)
+        epoch_loss = 0.0
+        batches = 0
+        for begin in range(0, n_scenes - batch_size + 1, batch_size):
+            idx = order[begin : begin + batch_size]
+            optimizer.zero_grad()
+            outputs = model(Tensor(images[idx]))
+            loss = yolo_loss(
+                outputs,
+                [boxes_list[i] for i in idx],
+                [labels_list[i] for i in idx],
+                model,
+            )
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        final = epoch_loss / max(batches, 1)
+        if verbose:
+            print(f"epoch {epoch}: loss {final:.4f}")
+    return DetectorTrainResult(
+        epochs=epochs, train_time_s=time.perf_counter() - start, final_loss=final
+    )

@@ -1,0 +1,99 @@
+"""Mean average precision (mAP) for detector evaluation.
+
+Standard VOC-style evaluation: detections are matched to ground truth
+greedily by score within each class (IoU >= threshold, one match per GT),
+precision/recall curves are accumulated over the dataset, and AP is the
+area under the interpolated curve.  Used to quantify the detector quality
+behind the Fig. 5 study beyond per-scene F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import iou_matrix
+
+
+@dataclass
+class APResult:
+    """Average precision for one class."""
+
+    class_id: int
+    ap: float
+    n_ground_truth: int
+    n_detections: int
+
+
+def _interpolated_ap(recall, precision):
+    """Area under the precision envelope (continuous interpolation)."""
+    recall = np.concatenate(([0.0], recall, [1.0]))
+    precision = np.concatenate(([0.0], precision, [0.0]))
+    # Monotone precision envelope from the right.
+    for i in range(len(precision) - 2, -1, -1):
+        precision[i] = max(precision[i], precision[i + 1])
+    changes = np.flatnonzero(recall[1:] != recall[:-1])
+    return float(np.sum((recall[changes + 1] - recall[changes]) * precision[changes + 1]))
+
+
+def average_precision(detections_list, gt_boxes_list, gt_labels_list, class_id,
+                      iou_threshold=0.5):
+    """AP of one class over a list of images.
+
+    ``detections_list`` holds per-image :class:`Detections`; ground truth is
+    given as parallel lists of box arrays and label arrays.
+    """
+    records = []  # (score, is_true_positive)
+    total_gt = 0
+    for detections, gt_boxes, gt_labels in zip(detections_list, gt_boxes_list,
+                                               gt_labels_list):
+        gt_mask = np.asarray(gt_labels) == class_id
+        gt = np.asarray(gt_boxes, dtype=np.float32).reshape(-1, 4)[gt_mask]
+        total_gt += len(gt)
+        det_mask = detections.labels == class_id
+        boxes = detections.boxes[det_mask]
+        scores = detections.scores[det_mask]
+        order = np.argsort(-scores)
+        matched = np.zeros(len(gt), dtype=bool)
+        ious = iou_matrix(boxes, gt) if len(gt) else np.zeros((len(boxes), 0))
+        for det_idx in order:
+            if ious.shape[1]:
+                best_gt = int(np.argmax(np.where(matched, -1.0, ious[det_idx])))
+                if ious[det_idx, best_gt] >= iou_threshold and not matched[best_gt]:
+                    matched[best_gt] = True
+                    records.append((float(scores[det_idx]), True))
+                    continue
+            records.append((float(scores[det_idx]), False))
+    if total_gt == 0:
+        return APResult(class_id=class_id, ap=0.0, n_ground_truth=0,
+                        n_detections=len(records))
+    if not records:
+        return APResult(class_id=class_id, ap=0.0, n_ground_truth=total_gt,
+                        n_detections=0)
+    records.sort(key=lambda r: -r[0])
+    flags = np.array([r[1] for r in records], dtype=np.float64)
+    tp = np.cumsum(flags)
+    fp = np.cumsum(1 - flags)
+    recall = tp / total_gt
+    precision = tp / np.maximum(tp + fp, 1e-9)
+    return APResult(class_id=class_id, ap=_interpolated_ap(recall, precision),
+                    n_ground_truth=total_gt, n_detections=len(records))
+
+
+def mean_average_precision(detections_list, gt_boxes_list, gt_labels_list,
+                           num_classes, iou_threshold=0.5):
+    """mAP over all classes; returns ``(map_value, per_class_results)``.
+
+    Classes with no ground truth anywhere are excluded from the mean (the
+    VOC convention).
+    """
+    results = [
+        average_precision(detections_list, gt_boxes_list, gt_labels_list, class_id,
+                          iou_threshold=iou_threshold)
+        for class_id in range(num_classes)
+    ]
+    present = [r for r in results if r.n_ground_truth > 0]
+    if not present:
+        return 0.0, results
+    return float(np.mean([r.ap for r in present])), results

@@ -1,0 +1,86 @@
+"""Detection-corruption metrics for the Fig. 5 study.
+
+Image classification has a crisp corruption criterion (Top-1 flip); object
+detection does not — the paper stresses that "the definition of an output
+corruption ... changes dramatically".  These metrics compare a perturbed
+inference against the clean inference (or ground truth) and count the three
+failure modes visible in Fig. 5b: phantom objects, missed objects, and
+misclassified objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import iou_matrix
+
+
+@dataclass
+class DetectionDiff:
+    """Structured comparison of two detection sets on one image."""
+
+    matched: int  # reference detections matched (IoU + class)
+    phantom: int  # new detections with no reference counterpart
+    missed: int  # reference detections with no counterpart
+    misclassified: int  # location matched but class changed
+
+    @property
+    def corrupted(self):
+        return bool(self.phantom or self.missed or self.misclassified)
+
+
+def match_detections(reference, perturbed, iou_threshold=0.5):
+    """Greedy IoU matching of ``perturbed`` detections to ``reference``.
+
+    Both arguments are :class:`~repro.detection.decode.Detections`.
+    Returns a :class:`DetectionDiff`.
+    """
+    n_ref = len(reference)
+    n_pert = len(perturbed)
+    if n_ref == 0 and n_pert == 0:
+        return DetectionDiff(matched=0, phantom=0, missed=0, misclassified=0)
+    ious = iou_matrix(reference.boxes, perturbed.boxes)
+    ref_used = np.zeros(n_ref, dtype=bool)
+    pert_used = np.zeros(n_pert, dtype=bool)
+    matched = 0
+    misclassified = 0
+    # Greedy: repeatedly take the best remaining IoU pair above threshold.
+    while ious.size:
+        flat = np.argmax(np.where(ref_used[:, None] | pert_used[None, :], -1.0, ious))
+        r, p = np.unravel_index(flat, ious.shape) if n_ref and n_pert else (0, 0)
+        if n_ref == 0 or n_pert == 0 or ious[r, p] < iou_threshold or ref_used[r] or pert_used[p]:
+            break
+        ref_used[r] = True
+        pert_used[p] = True
+        if reference.labels[r] == perturbed.labels[p]:
+            matched += 1
+        else:
+            misclassified += 1
+    return DetectionDiff(
+        matched=matched,
+        phantom=int((~pert_used).sum()),
+        missed=int((~ref_used).sum()),
+        misclassified=misclassified,
+    )
+
+
+def detection_f1(gt_boxes, gt_labels, detections, iou_threshold=0.5):
+    """F1 of ``detections`` against ground truth (trained-detector check)."""
+    from .decode import Detections
+
+    reference = Detections(
+        boxes=np.asarray(gt_boxes, dtype=np.float32).reshape(-1, 4),
+        scores=np.ones(len(gt_labels), dtype=np.float32),
+        labels=np.asarray(gt_labels, dtype=np.int64),
+    )
+    diff = match_detections(reference, detections, iou_threshold)
+    tp = diff.matched
+    fp = diff.phantom + diff.misclassified
+    fn = diff.missed
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)

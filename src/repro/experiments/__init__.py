@@ -1,0 +1,54 @@
+"""One experiment module per paper table/figure.
+
+Run any of them from the command line, e.g.::
+
+    python -m repro.experiments.fig3_overhead --scale small
+    python -m repro.experiments.fig4_classification
+    python -m repro.experiments.fig5_detection
+    python -m repro.experiments.fig6_ibp
+    python -m repro.experiments.fig7_gradcam
+    python -m repro.experiments.table1_training
+
+Each module exposes ``run(scale=..., seed=...) -> dict`` for programmatic
+use and ``report(results) -> str`` for the paper-style table.
+"""
+
+from . import (
+    ablation_bit_position,
+    ablation_criteria,
+    ablation_granularity,
+    ablation_quantization,
+    fig3_overhead,
+    fig4_classification,
+    fig5_detection,
+    fig6_ibp,
+    fig7_gradcam,
+    table1_training,
+)
+
+ALL_EXPERIMENTS = {
+    "ablation_bit_position": ablation_bit_position,
+    "ablation_criteria": ablation_criteria,
+    "ablation_granularity": ablation_granularity,
+    "ablation_quantization": ablation_quantization,
+    "fig3": fig3_overhead,
+    "fig4": fig4_classification,
+    "fig5": fig5_detection,
+    "fig6": fig6_ibp,
+    "fig7": fig7_gradcam,
+    "table1": table1_training,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ablation_bit_position",
+    "ablation_criteria",
+    "ablation_granularity",
+    "ablation_quantization",
+    "fig3_overhead",
+    "fig4_classification",
+    "fig5_detection",
+    "fig6_ibp",
+    "fig7_gradcam",
+    "table1_training",
+]

@@ -1,0 +1,84 @@
+"""Ablation: which bit positions matter (FP32 bit-position vulnerability).
+
+A classic result in DNN fault-injection studies (e.g. Li et al. [23], which
+the paper builds on) is that SDCs are dominated by flips in the high
+exponent bits: mantissa flips barely move the value, sign flips negate it,
+and high-exponent flips scale it by astronomically large powers of two.
+This ablation measures the Top-1 corruption rate as a function of the
+*fixed* flipped bit index in FP32 neurons — the per-bit breakdown that
+motivates selective bit protection in hardware.
+
+FP32 layout (bit 31 .. 0): [sign | 8 exponent bits | 23 mantissa bits].
+"""
+
+from __future__ import annotations
+
+from ..campaign import InjectionCampaign
+from ..core import SingleBitFlip
+from ..tensor import manual_seed
+from .common import check_scale, format_table, standard_parser, trained_model
+
+# Representative positions: low/mid/high mantissa, low/high exponent, sign.
+BIT_POSITIONS = (0, 11, 22, 24, 28, 30, 31)
+
+_TIER = {
+    "smoke": dict(injections_per_bit=250, pool=160, batch=32, bits=BIT_POSITIONS),
+    "small": dict(injections_per_bit=1000, pool=256, batch=32, bits=BIT_POSITIONS),
+    "paper": dict(injections_per_bit=10000, pool=512, batch=64,
+                  bits=tuple(range(32))),
+}
+
+
+def _bit_kind(bit):
+    if bit == 31:
+        return "sign"
+    if bit >= 23:
+        return "exponent"
+    return "mantissa"
+
+
+def run(scale="small", seed=0, network="shufflenet"):
+    tier = _TIER[check_scale(scale)]
+    manual_seed(seed)
+    model, dataset, info = trained_model(network, "imagenet", scale=scale, seed=seed,
+                                         optimizer="sgd", lr=0.02,
+                                         epochs=11 if scale == "smoke" else None)
+    rows = []
+    for bit in tier["bits"]:
+        campaign = InjectionCampaign(
+            model, dataset, error_model=SingleBitFlip(bit=bit), criterion="top1",
+            batch_size=tier["batch"], pool_size=tier["pool"],
+            network_name=f"{network}-bit{bit}", rng=seed + 20,
+        )
+        result = campaign.run(tier["injections_per_bit"])
+        rows.append({"bit": bit, "kind": _bit_kind(bit), "result": result})
+    return {"network": network, "scale": scale, "rows": rows,
+            "accuracy": info.get("accuracy")}
+
+
+def report(results):
+    out = [f"Ablation — FP32 bit-position vulnerability ({results['network']})", ""]
+    table = []
+    for row in results["rows"]:
+        p = row["result"].proportion
+        bar = "#" * int(round(p.rate * 50))
+        table.append((row["bit"], row["kind"], f"{p.rate:.4%}",
+                      f"{p.successes}/{p.trials}", bar))
+    out.append(format_table(("bit", "kind", "SDC rate", "corruptions", ""), table))
+    out.append("")
+    out.append("expected shape: mantissa flips ~harmless, sign flips mild, high "
+               "exponent bits (28-30) dominate — the selective-protection signal")
+    return "\n".join(out)
+
+
+def main(argv=None):
+    parser = standard_parser(__doc__.splitlines()[0])
+    parser.add_argument("--network", default="shufflenet")
+    args = parser.parse_args(argv)
+    results = run(scale=args.scale, seed=args.seed, network=args.network)
+    print(report(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment exposes ``run(scale=..., seed=...) -> dict`` (the data
+behind the paper's figure/table) and a ``main()`` CLI.  ``scale`` picks a
+parameter tier:
+
+* ``smoke`` — seconds; used by the test-suite and pytest-benchmark runs,
+* ``small`` — the CLI default; minutes, laptop-sized but meaningful,
+* ``paper`` — full configurations (hours on a laptop).
+
+Trained models are cached on disk (see :mod:`repro.train.cache`), keyed by
+everything that affects the weights, so re-running an experiment or
+benchmark never retrains.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .. import models
+from ..data import make_dataset
+from ..tensor import manual_seed, spawn
+from ..train import get_or_train, train_classifier
+
+SCALES = ("smoke", "small", "paper")
+
+# Per-scale knobs used across experiments.
+TRAIN_TIERS = {
+    "smoke": dict(epochs=6, train_per_class=24, test_per_class=8),
+    "small": dict(epochs=10, train_per_class=32, test_per_class=12),
+    "paper": dict(epochs=20, train_per_class=64, test_per_class=32),
+}
+
+
+def check_scale(scale):
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; have {SCALES}")
+    return scale
+
+
+def trained_model(name, dataset_name, scale="small", seed=0, optimizer="adam", lr=2e-3,
+                  epochs=None, train_per_class=None, dataset=None):
+    """A trained zoo model + its dataset, via the on-disk weight cache.
+
+    Returns ``(model, dataset, info)`` where ``info`` records accuracy and
+    cache status.
+    """
+    check_scale(scale)
+    tier = TRAIN_TIERS[scale]
+    epochs = epochs if epochs is not None else tier["epochs"]
+    per_class = train_per_class if train_per_class is not None else tier["train_per_class"]
+    if dataset is None:
+        dataset = make_dataset(dataset_name, seed=seed)
+    spec = {
+        "kind": "classifier",
+        "model": name,
+        "dataset": dataset_name,
+        "scale": scale,
+        "seed": seed,
+        "optimizer": optimizer,
+        "lr": lr,
+        "epochs": epochs,
+        "per_class": per_class,
+    }
+    info = {}
+
+    def build():
+        manual_seed(seed)
+        return models.get_model(name, dataset_name, scale=scale, rng=spawn(seed + 1))
+
+    def train(model):
+        result = train_classifier(
+            model, dataset, epochs=epochs, optimizer=optimizer, lr=lr,
+            weight_decay=0.0 if optimizer == "adam" else 5e-4,
+            train_per_class=per_class, test_per_class=tier["test_per_class"],
+            seed=seed + 2,
+        )
+        info["accuracy"] = result.test_accuracy
+        info["train_time_s"] = result.train_time_s
+
+    model, cached = get_or_train(spec, build, train)
+    info["cached"] = cached
+    model.eval()
+    return model, dataset, info
+
+
+def format_table(headers, rows):
+    """Monospace table used by every experiment's report."""
+    columns = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def standard_parser(description):
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", choices=SCALES, default="small",
+                        help="parameter tier (default: small)")
+    parser.add_argument("--seed", type=int, default=0, help="global seed (default: 0)")
+    return parser

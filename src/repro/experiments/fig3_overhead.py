@@ -1,0 +1,116 @@
+"""Fig. 3 — runtime overhead of the injector across the 19-network roster.
+
+Paper claim: "the runtime with perturbations differs by less than 10
+millisecond in wall-clock time across both platforms, all models, and
+datasets" — i.e. PyTorchFI runs at the native speed of the framework.
+This experiment times every (network, dataset) pair of the roster with and
+without a single random-neuron injection on both device code paths, and a
+``--sweep-batch`` mode reproduces the §III-C batch-size sweep (overhead
+stays amortised from batch 1 to 512).
+
+Models run untrained (weights do not affect runtime), exactly as a timing
+microbenchmark would.
+"""
+
+from __future__ import annotations
+
+from .. import models
+from ..perf import measure_overhead, sweep_batch_sizes
+from ..tensor import manual_seed, spawn
+from .common import check_scale, format_table, standard_parser
+
+_TIER = {
+    "smoke": dict(trials=3, warmup=1, roster_limit=4, devices=("cpu",), batches=(1, 4)),
+    "small": dict(trials=10, warmup=2, roster_limit=None, devices=("cpu", "cuda"),
+                  batches=(1, 4, 16, 64)),
+    "paper": dict(trials=1000, warmup=5, roster_limit=None, devices=("cpu", "cuda"),
+                  batches=(1, 8, 64, 512)),
+}
+
+
+def run(scale="small", seed=0, sweep_batch=False, model_scale=None):
+    """Measure the roster; returns ``{"measurements": [...], "sweep": [...]}``."""
+    check_scale(scale)
+    tier = _TIER[scale]
+    model_scale = model_scale or scale
+    manual_seed(seed)
+    roster = models.FIG3_ROSTER
+    if tier["roster_limit"]:
+        roster = roster[: tier["roster_limit"]]
+    measurements = []
+    for name, dataset in roster:
+        _, input_size = models.dataset_preset(dataset)
+        net = models.get_model(name, dataset, scale=model_scale, rng=spawn(seed))
+        for device in tier["devices"]:
+            measurements.append(
+                measure_overhead(
+                    net, (3, input_size, input_size), batch_size=1,
+                    trials=tier["trials"], warmup=tier["warmup"], device=device,
+                    network=name, dataset=dataset, rng=seed + 1,
+                )
+            )
+    sweep = []
+    if sweep_batch:
+        name, dataset = roster[0]
+        _, input_size = models.dataset_preset(dataset)
+        net = models.get_model(name, dataset, scale=model_scale, rng=spawn(seed))
+        sweep = sweep_batch_sizes(
+            net, (3, input_size, input_size), batch_sizes=tier["batches"],
+            trials=tier["trials"], network=name, dataset=dataset, rng=seed + 1,
+        )
+    return {"measurements": measurements, "sweep": sweep}
+
+
+def report(results):
+    rows = [
+        (
+            m.network,
+            m.dataset,
+            m.device,
+            m.batch_size,
+            f"{m.base_mean_s * 1e3:.2f}",
+            f"{m.fi_mean_s * 1e3:.2f}",
+            f"{m.overhead_s * 1e3:+.3f}",
+            f"{m.overhead_pct:+.2f}%",
+        )
+        for m in results["measurements"]
+    ]
+    out = ["Fig. 3 — wall-clock time with and without PyTorchFI (per inference)", ""]
+    out.append(
+        format_table(
+            ("network", "dataset", "device", "batch", "base ms", "FI ms", "delta ms", "delta %"),
+            rows,
+        )
+    )
+    deltas = [abs(m.overhead_s) for m in results["measurements"]]
+    out.append("")
+    out.append(f"max |overhead| = {max(deltas) * 1e3:.3f} ms "
+               f"(paper: < 10 ms on all models/platforms)")
+    if results["sweep"]:
+        out.append("")
+        out.append("Batch sweep (§III-C): amortised overhead per batch")
+        rows = [
+            (
+                m.batch_size,
+                f"{m.base_mean_s * 1e3:.2f}",
+                f"{m.fi_mean_s * 1e3:.2f}",
+                f"{m.overhead_pct:+.2f}%",
+            )
+            for m in results["sweep"]
+        ]
+        out.append(format_table(("batch", "base ms", "FI ms", "delta %"), rows))
+    return "\n".join(out)
+
+
+def main(argv=None):
+    parser = standard_parser(__doc__.splitlines()[0])
+    parser.add_argument("--sweep-batch", action="store_true",
+                        help="also run the batch-size sweep of §III-C")
+    args = parser.parse_args(argv)
+    results = run(scale=args.scale, seed=args.seed, sweep_batch=args.sweep_batch)
+    print(report(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

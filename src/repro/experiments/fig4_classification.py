@@ -1,0 +1,129 @@
+"""Fig. 4 — Top-1 misclassification probability under single INT8 bit flips.
+
+Paper protocol (§IV-A): six ImageNet classifiers with INT8 neuron
+quantization; each trial flips one random bit of one randomly-selected
+neuron during an inference on an input the clean model classifies
+correctly; the output corruption metric is Top-1 misclassification.
+Expected shape: every network corrupts sometimes, rates are well under a
+few percent, and networks differ (topology matters — e.g. AlexNet and
+ShuffleNet show similar susceptibility despite very different sizes).
+"""
+
+from __future__ import annotations
+
+from ..campaign import InjectionCampaign
+from ..core import FaultInjection, SingleBitFlip
+from ..data import make_dataset
+from ..models import FIG4_NETWORKS
+from ..quant import calibrate
+from ..tensor import manual_seed
+from .common import check_scale, format_table, standard_parser, trained_model
+
+_TIER = {
+    "smoke": dict(networks=("alexnet", "shufflenet"), injections=1000, pool=160,
+                  batch=32, calibration=16, epochs=11),
+    "small": dict(networks=FIG4_NETWORKS, injections=4000, pool=256, batch=32,
+                  calibration=32, epochs=8),
+    "paper": dict(networks=FIG4_NETWORKS, injections=60000, pool=512, batch=64,
+                  calibration=64, epochs=24),
+}
+
+# The campaign pool is drawn at higher sample noise than the training set:
+# our synthetic classifiers train to near-perfect accuracy with wide
+# decision margins, unlike the paper's ImageNet models (~55-75% Top-1), so
+# evaluating on noisier samples restores ImageNet-like margins around the
+# decision boundary.  Documented in DESIGN.md / EXPERIMENTS.md.
+POOL_NOISE = 1.0
+
+# Per-network optimiser choices: the batch-normalised families train well
+# with SGD; the BN-free ones (AlexNet, SqueezeNet, VGG pre-BN path) need
+# Adam and roughly twice the epochs at this scale.
+_TRAIN_CONFIG = {
+    "alexnet": dict(optimizer="adam", lr=2e-3, epochs_mult=2.0, train_per_class=24),
+    "squeezenet": dict(optimizer="adam", lr=2e-3, epochs_mult=2.0, train_per_class=24),
+    "vgg19": dict(optimizer="adam", lr=2e-3, epochs_mult=1.25, train_per_class=24),
+    "googlenet": dict(optimizer="sgd", lr=0.02, epochs_mult=1.0, train_per_class=24),
+    "resnet50": dict(optimizer="sgd", lr=0.02, epochs_mult=0.75, train_per_class=24),
+    "shufflenet": dict(optimizer="sgd", lr=0.02, epochs_mult=1.25, train_per_class=24),
+}
+
+
+def run(scale="small", seed=0, networks=None, injections=None):
+    """Run the campaign per network; returns ``{"rows": [...]}``."""
+    check_scale(scale)
+    tier = _TIER[scale]
+    networks = networks if networks is not None else tier["networks"]
+    injections = injections if injections is not None else tier["injections"]
+    rows = []
+    pool_dataset = None
+    for name in networks:
+        manual_seed(seed)
+        config = dict(_TRAIN_CONFIG.get(name, {}))
+        epochs = int(round(tier["epochs"] * config.pop("epochs_mult", 1.0)))
+        model, dataset, info = trained_model(name, "imagenet", scale=scale, seed=seed,
+                                             epochs=epochs, **config)
+        if pool_dataset is None:
+            pool_dataset = make_dataset("imagenet", seed=seed, noise=POOL_NOISE)
+        # INT8 calibration over a held-out batch (the [38] scheme).
+        fi_cal = FaultInjection(model, batch_size=tier["calibration"],
+                                input_shape=dataset.input_shape)
+        images, _ = dataset.sample(tier["calibration"], rng=seed + 10)
+        qparams = calibrate(fi_cal, images)
+        campaign = InjectionCampaign(
+            model, pool_dataset, error_model=SingleBitFlip(), criterion="top1",
+            batch_size=tier["batch"], quantization=qparams, pool_size=tier["pool"],
+            network_name=name, rng=seed + 20,
+        )
+        result = campaign.run(injections)
+        rows.append(
+            {
+                "network": name,
+                "clean_accuracy": campaign.clean_accuracy,
+                "trained_accuracy": info.get("accuracy"),
+                "result": result,
+            }
+        )
+    return {"rows": rows, "scale": scale, "injections": injections}
+
+
+def report(results):
+    out = [
+        "Fig. 4 — Top-1 misclassification probability, single-bit flips in "
+        "INT8-quantized neurons",
+        "",
+    ]
+    table = []
+    for row in results["rows"]:
+        p = row["result"].proportion
+        low, high = p.interval
+        table.append(
+            (
+                row["network"],
+                f"{row['clean_accuracy']:.1%}",
+                f"{p.rate:.4%}",
+                f"[{low:.4%}, {high:.4%}]",
+                f"{p.successes}/{p.trials}",
+            )
+        )
+    out.append(
+        format_table(
+            ("network", "clean acc", "SDC rate", "99% CI", "corruptions"), table
+        )
+    )
+    out.append("")
+    out.append("paper shape: all networks < ~1%, none at 0, topology-dependent spread")
+    return "\n".join(out)
+
+
+def main(argv=None):
+    parser = standard_parser(__doc__.splitlines()[0])
+    parser.add_argument("--injections", type=int, default=None,
+                        help="override injections per network")
+    args = parser.parse_args(argv)
+    results = run(scale=args.scale, seed=args.seed, injections=args.injections)
+    print(report(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Fig. 7 — injection-guided interpretability with Grad-CAM on DenseNet.
+
+Paper protocol (§IV-E): on a correctly classified image, compute the
+Grad-CAM heatmap; then inject an egregiously large value (10,000) into (a)
+the feature map with the *least* gradient sensitivity and (b) the *most*
+sensitive one, and recompute.  Expected shape: the low-sensitivity
+injection barely moves the heatmap and keeps the Top-1 class; the
+high-sensitivity injection skews the heatmap (and often flips the class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..interpret import sensitivity_study
+from ..tensor import Tensor, manual_seed, no_grad
+from .common import check_scale, format_table, standard_parser, trained_model
+
+_TIER = {
+    "smoke": dict(images=2, inject_value=10_000.0),
+    "small": dict(images=8, inject_value=10_000.0),
+    "paper": dict(images=32, inject_value=10_000.0),
+}
+
+
+def _target_layer(model):
+    """The deepest conv layer — the canonical Grad-CAM target."""
+    last = None
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            last = name
+    if last is None:
+        raise ValueError("model has no convolutional layer")
+    return last
+
+
+def run(scale="small", seed=0):
+    """Run the sensitivity study on correctly-classified images."""
+    tier = _TIER[check_scale(scale)]
+    manual_seed(seed)
+    model, dataset, info = trained_model("densenet", "cifar10", scale=scale, seed=seed)
+    layer = _target_layer(model)
+    images, labels = dataset.sample(64, rng=seed + 9)
+    with no_grad():
+        predictions = model(Tensor(images)).data.argmax(axis=1)
+    correct = np.flatnonzero(predictions == labels)[: tier["images"]]
+    if len(correct) == 0:
+        raise RuntimeError("model classified no sample correctly; increase training scale")
+    studies = []
+    for idx in correct:
+        study = sensitivity_study(model, images[idx], layer,
+                                  inject_value=tier["inject_value"])
+        studies.append(
+            {
+                "image": int(idx),
+                "label": int(labels[idx]),
+                "clean_class": study["clean"].predicted_class,
+                "low_divergence": study["low_divergence"],
+                "high_divergence": study["high_divergence"],
+                "low_fmap": study["low_fmap"],
+                "high_fmap": study["high_fmap"],
+                "low_class": study["low_sensitivity"].predicted_class,
+                "high_class": study["high_sensitivity"].predicted_class,
+            }
+        )
+    return {
+        "studies": studies,
+        "layer": layer,
+        "scale": scale,
+        "mean_low": float(np.mean([s["low_divergence"] for s in studies])),
+        "mean_high": float(np.mean([s["high_divergence"] for s in studies])),
+    }
+
+
+def report(results):
+    out = [
+        f"Fig. 7 — Grad-CAM heatmap shift under feature-map injection "
+        f"(DenseNet, layer {results['layer']!r}, value 10,000)",
+        "",
+    ]
+    rows = []
+    for s in results["studies"]:
+        rows.append(
+            (
+                s["image"],
+                s["clean_class"],
+                f"{s['low_divergence']:.4f}",
+                "same" if s["low_class"] == s["clean_class"] else f"-> {s['low_class']}",
+                f"{s['high_divergence']:.4f}",
+                "same" if s["high_class"] == s["clean_class"] else f"-> {s['high_class']}",
+            )
+        )
+    out.append(
+        format_table(
+            ("img", "clean cls", "low-sens div", "low cls", "high-sens div", "high cls"),
+            rows,
+        )
+    )
+    out.append("")
+    out.append(
+        f"mean heatmap divergence: low-sensitivity {results['mean_low']:.4f} "
+        f"vs high-sensitivity {results['mean_high']:.4f} "
+        "(paper shape: low << high; low keeps the Top-1 class)"
+    )
+    return "\n".join(out)
+
+
+def main(argv=None):
+    parser = standard_parser(__doc__.splitlines()[0])
+    args = parser.parse_args(argv)
+    results = run(scale=args.scale, seed=args.seed)
+    print(report(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

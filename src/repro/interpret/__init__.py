@@ -1,0 +1,21 @@
+"""Interpretability: Grad-CAM + injection-guided feature-map sensitivity."""
+
+from .gradcam import (
+    GradCamResult,
+    select_probe_fmaps,
+    grad_cam,
+    grad_cam_with_injection,
+    heatmap_divergence,
+    rank_feature_maps,
+    sensitivity_study,
+)
+
+__all__ = [
+    "GradCamResult",
+    "select_probe_fmaps",
+    "grad_cam",
+    "grad_cam_with_injection",
+    "heatmap_divergence",
+    "rank_feature_maps",
+    "sensitivity_study",
+]

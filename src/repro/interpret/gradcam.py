@@ -1,0 +1,185 @@
+"""Grad-CAM and injection-guided interpretability (paper §IV-E, Fig. 7).
+
+Grad-CAM (Selvaraju et al. [39]) weights a target layer's feature maps by
+the spatial mean of the class-score gradient and sums the ReLU'd result
+into a heatmap.  The paper's interpretability experiment injects an
+egregiously large value (10,000) into one feature map *during the Grad-CAM
+forward pass* and observes how much the heatmap moves: perturbing the
+least-sensitive map barely changes it, the most-sensitive map skews it.
+
+Sensitivity of feature map ``k`` is defined, as in the paper, by the
+magnitude of the gradient flowing into that map ("as defined by the
+gradient values of the feature map").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FaultInjection, StuckAt
+from ..tensor import Tensor
+
+
+@dataclass
+class GradCamResult:
+    """Heatmap plus the intermediates interpretability studies need."""
+
+    heatmap: np.ndarray  # (H, W) of the target layer, normalised to [0, 1]
+    fmap_weights: np.ndarray  # (C,) pooled gradients (the alpha_k of Grad-CAM)
+    fmap_gradients: np.ndarray  # (C,) mean |grad| per feature map (sensitivity)
+    predicted_class: int
+    class_score: float
+
+
+def _normalise(x):
+    x = np.maximum(x, 0.0)
+    peak = x.max()
+    return x / peak if peak > 0 else x
+
+
+def grad_cam(model, image, target_layer, target_class=None):
+    """Compute Grad-CAM of ``model`` on one ``image`` (C, H, W).
+
+    ``target_layer`` is the module whose output feature maps the heatmap
+    lives on (any module reachable in ``model.named_modules()``; pass the
+    module itself or its dotted name).
+    """
+    if isinstance(target_layer, str):
+        target_layer = model.get_submodule(target_layer)
+    captured = {}
+
+    def capture(module, inputs, output):
+        output.retain_grad()
+        captured["fmaps"] = output
+
+    handle = target_layer.register_forward_hook(capture)
+    was_training = model.training
+    model.eval()
+    try:
+        batch = Tensor(np.asarray(image, dtype=np.float32)[None])
+        logits = model(batch)
+        if target_class is None:
+            target_class = int(logits.data[0].argmax())
+        score = logits[0, target_class]
+        model.zero_grad()
+        score.backward()
+    finally:
+        handle.remove()
+        model.train(was_training)
+    fmaps = captured.get("fmaps")
+    if fmaps is None:
+        raise RuntimeError("target layer did not run during the forward pass")
+    activations = fmaps.data[0]  # (C, H, W)
+    gradients = fmaps.grad[0]  # (C, H, W)
+    weights = gradients.mean(axis=(1, 2))  # alpha_k
+    heatmap = _normalise(np.tensordot(weights, activations, axes=1))
+    return GradCamResult(
+        heatmap=heatmap,
+        fmap_weights=weights,
+        fmap_gradients=np.abs(gradients).mean(axis=(1, 2)),
+        predicted_class=target_class,
+        class_score=float(score.item()),
+    )
+
+
+def rank_feature_maps(result):
+    """Feature-map indices sorted least-sensitive first."""
+    return np.argsort(result.fmap_gradients)
+
+
+def select_probe_fmaps(result):
+    """Pick the (least, most) sensitive feature maps for the Fig. 7 probe.
+
+    "Least" minimises the Grad-CAM weight magnitude ``|alpha_k|`` (an
+    injection there cannot move the heatmap); "most" maximises the
+    *positive* alpha (Grad-CAM ReLUs the weighted sum, so a huge value in a
+    negative-weight map would be clamped away — the probe needs a map whose
+    activation actually reaches the heatmap).  Falls back to max ``|alpha|``
+    if no weight is positive.
+    """
+    weights = result.fmap_weights
+    low = int(np.abs(weights).argmin())
+    positive = np.flatnonzero(weights > 0)
+    high = int(positive[weights[positive].argmax()]) if len(positive) else int(
+        np.abs(weights).argmax()
+    )
+    return low, high
+
+
+def grad_cam_with_injection(model, image, target_layer, fmap_index, inject_value=10_000.0,
+                            target_class=None, input_shape=None):
+    """Grad-CAM with a huge value injected into one feature map (Fig. 7b/7c).
+
+    The injection perturbs the *centre neuron* of feature map ``fmap_index``
+    of ``target_layer`` during the forward pass, via the fault injector.
+    Returns a :class:`GradCamResult` of the perturbed inference.
+    """
+    if isinstance(target_layer, str):
+        target_layer_name = target_layer
+    else:
+        target_layer_name = None
+        for name, module in model.named_modules():
+            if module is target_layer:
+                target_layer_name = name
+                break
+        if target_layer_name is None:
+            raise ValueError("target layer is not a submodule of the model")
+    image = np.asarray(image, dtype=np.float32)
+    shape = input_shape if input_shape is not None else image.shape
+    fi = FaultInjection(model, batch_size=1, input_shape=shape)
+    layer_index = None
+    for info in fi.layers:
+        if info.name == target_layer_name:
+            layer_index = info.index
+            break
+    if layer_index is None:
+        raise ValueError(
+            f"layer {target_layer_name!r} is not instrumentable "
+            f"(have {[i.name for i in fi.layers]})"
+        )
+    info = fi.layer(layer_index)
+    _, h, w = info.neuron_shape
+    corrupted = fi.declare_neuron_fault_injection(
+        layer_num=layer_index, dim1=int(fmap_index), dim2=h // 2, dim3=w // 2,
+        batch=0, function=StuckAt(inject_value),
+    )
+    try:
+        return grad_cam(corrupted, image, target_layer_name, target_class=target_class)
+    finally:
+        fi.reset()
+
+
+def heatmap_divergence(a, b):
+    """Normalised L1 distance between two heatmaps in [0, 1]."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"heatmap shapes disagree: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).mean())
+
+
+def sensitivity_study(model, image, target_layer, inject_value=10_000.0):
+    """The full Fig. 7 protocol on one image.
+
+    Returns a dict with the clean result, the perturbed results for the
+    least- and most-sensitive feature maps, and their heatmap divergences.
+    """
+    clean = grad_cam(model, image, target_layer)
+    low_idx, high_idx = select_probe_fmaps(clean)
+    low = grad_cam_with_injection(model, image, target_layer, low_idx,
+                                  inject_value=inject_value,
+                                  target_class=clean.predicted_class)
+    high = grad_cam_with_injection(model, image, target_layer, high_idx,
+                                   inject_value=inject_value,
+                                   target_class=clean.predicted_class)
+    return {
+        "clean": clean,
+        "low_sensitivity": low,
+        "high_sensitivity": high,
+        "low_fmap": low_idx,
+        "high_fmap": high_idx,
+        "low_divergence": heatmap_divergence(clean.heatmap, low.heatmap),
+        "high_divergence": heatmap_divergence(clean.heatmap, high.heatmap),
+    }

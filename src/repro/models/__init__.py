@@ -1,0 +1,70 @@
+"""Model zoo: the paper's 19 Fig. 3 networks plus TinyYOLOv3.
+
+All families are architecturally faithful (block structure, branching,
+filter mix) and width/depth-parameterised so campaigns run at laptop scale;
+``scale="paper"`` builds the full configurations.  See DESIGN.md §2.
+"""
+
+from .alexnet import AlexNet, alexnet
+from .common import ConvBNLeaky, ConvBNReLU, channel_shuffle
+from .densenet import DenseNet, densenet
+from .googlenet import GoogLeNet, googlenet
+from .mobilenet import MobileNet, mobilenet
+from .preresnet import PreResNet, preresnet110
+from .registry import (
+    BUILDERS,
+    DATASETS,
+    FIG3_ROSTER,
+    FIG4_NETWORKS,
+    dataset_preset,
+    get_model,
+    list_models,
+)
+from .resnet import CifarResNet, ResNet, resnet18, resnet34, resnet50, resnet110
+from .resnext import ResNeXt, resnext29
+from .shufflenet import ShuffleNet, shufflenet
+from .squeezenet import SqueezeNet, squeezenet
+from .vgg import VGG, vgg11, vgg16, vgg19
+from .yolo import DEFAULT_ANCHORS, TinyYOLOv3, tiny_yolov3
+
+__all__ = [
+    "AlexNet",
+    "BUILDERS",
+    "CifarResNet",
+    "ConvBNLeaky",
+    "ConvBNReLU",
+    "DATASETS",
+    "DEFAULT_ANCHORS",
+    "DenseNet",
+    "FIG3_ROSTER",
+    "FIG4_NETWORKS",
+    "GoogLeNet",
+    "MobileNet",
+    "PreResNet",
+    "ResNeXt",
+    "ResNet",
+    "ShuffleNet",
+    "SqueezeNet",
+    "TinyYOLOv3",
+    "VGG",
+    "alexnet",
+    "channel_shuffle",
+    "dataset_preset",
+    "densenet",
+    "get_model",
+    "googlenet",
+    "list_models",
+    "mobilenet",
+    "preresnet110",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet110",
+    "resnext29",
+    "shufflenet",
+    "squeezenet",
+    "tiny_yolov3",
+    "vgg11",
+    "vgg16",
+    "vgg19",
+]

@@ -1,0 +1,58 @@
+"""AlexNet, in the CIFAR-adapted form of bearpaw/pytorch-classification
+(the training reference the paper cites for its Fig. 6 AlexNet) plus a
+stride-reduced variant for the 64x64 synthetic-ImageNet inputs.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import scaled
+
+
+class AlexNet(nn.Module):
+    """Five conv layers + classifier.
+
+    ``width_mult`` scales every channel count (the laptop-scale default of
+    the zoo registry is 0.25); ``width_mult=1`` is the paper-scale network.
+    """
+
+    def __init__(self, num_classes=10, in_channels=3, width_mult=1.0, input_size=32,
+                 dropout=0.5, rng=None):
+        super().__init__()
+        c1 = scaled(64, width_mult)
+        c2 = scaled(192, width_mult)
+        c3 = scaled(384, width_mult)
+        c4 = scaled(256, width_mult)
+        c5 = scaled(256, width_mult)
+        if input_size % 8:
+            raise ValueError(f"input_size must be divisible by 8, got {input_size}")
+        first_stride = 2 if input_size >= 64 else 1
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 5, stride=first_stride, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c2, c3, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c3, c4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c4, c5, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        spatial = input_size // 8 // first_stride
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Dropout(dropout, rng=rng),
+            nn.Linear(c5 * spatial * spatial, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+
+def alexnet(num_classes=10, input_size=32, width_mult=1.0, rng=None, **kwargs):
+    return AlexNet(num_classes=num_classes, input_size=input_size, width_mult=width_mult,
+                   rng=rng, **kwargs)

@@ -1,0 +1,68 @@
+"""Shared building blocks for the model zoo."""
+
+from __future__ import annotations
+
+from .. import nn
+
+
+def scaled(channels, width_mult, minimum=8, divisor=4):
+    """Scale a channel count by ``width_mult``, keeping it divisible."""
+    value = int(round(channels * width_mult))
+    value = max(minimum, (value // divisor) * divisor)
+    return value
+
+
+class ConvBNReLU(nn.Sequential):
+    """conv -> batchnorm -> ReLU, the workhorse block of most families."""
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1, padding=None,
+                 groups=1, rng=None):
+        if padding is None:
+            padding = kernel_size // 2
+        super().__init__(
+            nn.Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                      padding=padding, groups=groups, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+        )
+
+
+class ConvBNLeaky(nn.Sequential):
+    """conv -> batchnorm -> LeakyReLU(0.1), the Darknet/YOLO block."""
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1, padding=None,
+                 rng=None):
+        if padding is None:
+            padding = kernel_size // 2
+        super().__init__(
+            nn.Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                      padding=padding, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+            nn.LeakyReLU(0.1),
+        )
+
+
+def channel_shuffle(x, groups):
+    """ShuffleNet's channel shuffle: interleave channels across groups."""
+    n, c, h, w = x.shape
+    if c % groups:
+        raise ValueError(f"channels ({c}) not divisible by groups ({groups})")
+    x = x.reshape(n, groups, c // groups, h, w)
+    x = x.permute(0, 2, 1, 3, 4)
+    return x.reshape(n, c, h, w)
+
+
+def flatten_classifier(x):
+    """Global-average-pool then flatten, the modern classifier head."""
+    return x.mean(axis=(2, 3))
+
+
+class GlobalPoolLinear(nn.Module):
+    """GAP -> Linear classifier head used by several families."""
+
+    def __init__(self, in_channels, num_classes, rng=None):
+        super().__init__()
+        self.fc = nn.Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.fc(flatten_classifier(x))

@@ -1,0 +1,78 @@
+"""DenseNet-BC (Huang et al.), the CIFAR form used by Fig. 3 and Fig. 7."""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import cat
+
+
+class DenseLayer(nn.Module):
+    """BN-ReLU-1x1 -> BN-ReLU-3x3 producing ``growth_rate`` new channels."""
+
+    def __init__(self, in_channels, growth_rate, bn_size=4, rng=None):
+        super().__init__()
+        inner = bn_size * growth_rate
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.conv1 = nn.Conv2d(in_channels, inner, 1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(inner)
+        self.conv2 = nn.Conv2d(inner, growth_rate, 3, padding=1, bias=False, rng=rng)
+        self.relu = nn.ReLU()
+
+    def forward(self, x):
+        out = self.conv1(self.relu(self.bn1(x)))
+        out = self.conv2(self.relu(self.bn2(out)))
+        return cat([x, out], axis=1)
+
+
+class Transition(nn.Module):
+    """BN-ReLU-1x1 compression followed by 2x2 average pooling."""
+
+    def __init__(self, in_channels, out_channels, rng=None):
+        super().__init__()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.relu = nn.ReLU()
+        self.conv = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.pool = nn.AvgPool2d(2)
+
+    def forward(self, x):
+        return self.pool(self.conv(self.relu(self.bn(x))))
+
+
+class DenseNet(nn.Module):
+    """Three dense blocks with compression 0.5 (DenseNet-BC)."""
+
+    def __init__(self, depth=40, growth_rate=12, num_classes=10, in_channels=3,
+                 compression=0.5, width_mult=1.0, rng=None):
+        super().__init__()
+        if (depth - 4) % 6:
+            raise ValueError(f"DenseNet-BC depth must be 6n+4, got {depth}")
+        layers_per_block = (depth - 4) // 6
+        growth = max(4, int(round(growth_rate * width_mult)))
+        channels = 2 * growth
+        self.stem = nn.Conv2d(in_channels, channels, 3, padding=1, bias=False, rng=rng)
+        blocks = []
+        for block_index in range(3):
+            dense = []
+            for _ in range(layers_per_block):
+                dense.append(DenseLayer(channels, growth, rng=rng))
+                channels += growth
+            blocks.append(nn.Sequential(*dense))
+            if block_index < 2:
+                out_channels = max(4, int(channels * compression))
+                blocks.append(Transition(channels, out_channels, rng=rng))
+                channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.final_bn = nn.BatchNorm2d(channels)
+        self.relu = nn.ReLU()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+        self.out_channels = channels
+
+    def forward(self, x):
+        out = self.blocks(self.stem(x))
+        out = self.relu(self.final_bn(out))
+        return self.fc(out.mean(axis=(2, 3)))
+
+
+def densenet(num_classes=10, depth=40, growth_rate=12, width_mult=1.0, rng=None, **kwargs):
+    return DenseNet(depth=depth, growth_rate=growth_rate, num_classes=num_classes,
+                    width_mult=width_mult, rng=rng, **kwargs)

@@ -1,0 +1,81 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al.), small-input adaptation."""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import cat
+from .common import ConvBNReLU, scaled
+
+
+class Inception(nn.Module):
+    """The four-branch Inception module (1x1 / 3x3 / 5x5 / pool-proj)."""
+
+    def __init__(self, in_channels, b1, b3_reduce, b3, b5_reduce, b5, pool_proj, rng=None):
+        super().__init__()
+        self.branch1 = ConvBNReLU(in_channels, b1, kernel_size=1, rng=rng)
+        self.branch3 = nn.Sequential(
+            ConvBNReLU(in_channels, b3_reduce, kernel_size=1, rng=rng),
+            ConvBNReLU(b3_reduce, b3, kernel_size=3, rng=rng),
+        )
+        self.branch5 = nn.Sequential(
+            ConvBNReLU(in_channels, b5_reduce, kernel_size=1, rng=rng),
+            ConvBNReLU(b5_reduce, b5, kernel_size=5, rng=rng),
+        )
+        self.branch_pool = nn.Sequential(
+            nn.MaxPool2d(3, stride=1, padding=1),
+            ConvBNReLU(in_channels, pool_proj, kernel_size=1, rng=rng),
+        )
+        self.out_channels = b1 + b3 + b5 + pool_proj
+
+    def forward(self, x):
+        return cat(
+            [self.branch1(x), self.branch3(x), self.branch5(x), self.branch_pool(x)], axis=1
+        )
+
+
+class GoogLeNet(nn.Module):
+    """Inception-v1 with the canonical 3a..5b channel plan, width-scalable."""
+
+    def __init__(self, num_classes=100, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+
+        def s(c):
+            return scaled(c, width_mult, minimum=4)
+
+        self.stem = nn.Sequential(
+            ConvBNReLU(in_channels, s(64), kernel_size=3, rng=rng),
+            ConvBNReLU(s(64), s(192), kernel_size=3, rng=rng),
+            nn.MaxPool2d(2),
+        )
+        self.inception3a = Inception(s(192), s(64), s(96), s(128), s(16), s(32), s(32), rng=rng)
+        self.inception3b = Inception(
+            self.inception3a.out_channels, s(128), s(128), s(192), s(32), s(96), s(64), rng=rng
+        )
+        self.pool3 = nn.MaxPool2d(2)
+        self.inception4a = Inception(
+            self.inception3b.out_channels, s(192), s(96), s(208), s(16), s(48), s(64), rng=rng
+        )
+        self.inception4b = Inception(
+            self.inception4a.out_channels, s(160), s(112), s(224), s(24), s(64), s(64), rng=rng
+        )
+        self.pool4 = nn.MaxPool2d(2)
+        self.inception5a = Inception(
+            self.inception4b.out_channels, s(256), s(160), s(320), s(32), s(128), s(128), rng=rng
+        )
+        self.inception5b = Inception(
+            self.inception5a.out_channels, s(384), s(192), s(384), s(48), s(128), s(128), rng=rng
+        )
+        self.fc = nn.Linear(self.inception5b.out_channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stem(x)
+        out = self.inception3b(self.inception3a(out))
+        out = self.pool3(out)
+        out = self.inception4b(self.inception4a(out))
+        out = self.pool4(out)
+        out = self.inception5b(self.inception5a(out))
+        return self.fc(out.mean(axis=(2, 3)))
+
+
+def googlenet(num_classes=100, width_mult=1.0, rng=None, **kwargs):
+    return GoogLeNet(num_classes=num_classes, width_mult=width_mult, rng=rng, **kwargs)

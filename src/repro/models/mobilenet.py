@@ -1,0 +1,49 @@
+"""MobileNet v1 (Howard et al.): depthwise-separable convolutions."""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import ConvBNReLU, scaled
+
+# (out_channels, stride) plan of the original MobileNet body.
+_PLAN = (
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+class DepthwiseSeparable(nn.Module):
+    """3x3 depthwise conv followed by 1x1 pointwise conv, each BN+ReLU."""
+
+    def __init__(self, in_channels, out_channels, stride=1, rng=None):
+        super().__init__()
+        self.depthwise = ConvBNReLU(in_channels, in_channels, kernel_size=3, stride=stride,
+                                    groups=in_channels, rng=rng)
+        self.pointwise = ConvBNReLU(in_channels, out_channels, kernel_size=1, rng=rng)
+
+    def forward(self, x):
+        return self.pointwise(self.depthwise(x))
+
+
+class MobileNet(nn.Module):
+    def __init__(self, num_classes=100, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+        first = scaled(32, width_mult, minimum=8)
+        self.stem = ConvBNReLU(in_channels, first, kernel_size=3, stride=2, rng=rng)
+        blocks = []
+        channels = first
+        for out, stride in _PLAN:
+            out = scaled(out, width_mult, minimum=8)
+            blocks.append(DepthwiseSeparable(channels, out, stride=stride, rng=rng))
+            channels = out
+        self.blocks = nn.Sequential(*blocks)
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.blocks(self.stem(x))
+        return self.fc(out.mean(axis=(2, 3)))
+
+
+def mobilenet(num_classes=100, width_mult=1.0, rng=None, **kwargs):
+    return MobileNet(num_classes=num_classes, width_mult=width_mult, rng=rng, **kwargs)

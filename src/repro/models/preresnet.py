@@ -1,0 +1,70 @@
+"""Pre-activation ResNet (He et al., "Identity Mappings"), CIFAR form.
+
+The Fig. 3 study runs PreResNet-110; the structure is the 6n+2 CIFAR
+ResNet with BN-ReLU-conv ordering and a final BN-ReLU before pooling.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import scaled
+
+
+class PreActBlock(nn.Module):
+    def __init__(self, in_channels, channels, stride=1, rng=None):
+        super().__init__()
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.relu = nn.ReLU()
+        self.conv1 = nn.Conv2d(in_channels, channels, 3, stride=stride, padding=1,
+                               bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        if stride != 1 or in_channels != channels:
+            self.shortcut = nn.Conv2d(in_channels, channels, 1, stride=stride, bias=False,
+                                      rng=rng)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        pre = self.relu(self.bn1(x))
+        out = self.conv1(pre)
+        out = self.conv2(self.relu(self.bn2(out)))
+        # The shortcut reads the pre-activation when projecting (original paper).
+        skip = self.shortcut(pre) if not isinstance(self.shortcut, nn.Identity) else x
+        return out + skip
+
+
+class PreResNet(nn.Module):
+    def __init__(self, depth=110, num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+        if (depth - 2) % 6:
+            raise ValueError(f"PreResNet depth must be 6n+2, got {depth}")
+        n = (depth - 2) // 6
+        widths = [scaled(16, width_mult, minimum=4), scaled(32, width_mult, minimum=8),
+                  scaled(64, width_mult, minimum=16)]
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        stages = []
+        in_ch = widths[0]
+        for stage_index, width in enumerate(widths):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(n):
+                blocks.append(
+                    PreActBlock(in_ch, width, stride=stride if block_index == 0 else 1, rng=rng)
+                )
+                in_ch = width
+            stages.append(nn.Sequential(*blocks))
+        self.stages = nn.Sequential(*stages)
+        self.final_bn = nn.BatchNorm2d(in_ch)
+        self.relu = nn.ReLU()
+        self.fc = nn.Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stages(self.stem(x))
+        out = self.relu(self.final_bn(out))
+        return self.fc(out.mean(axis=(2, 3)))
+
+
+def preresnet110(num_classes=10, width_mult=1.0, depth=110, rng=None, **kwargs):
+    return PreResNet(depth=depth, num_classes=num_classes, width_mult=width_mult, rng=rng,
+                     **kwargs)

@@ -1,0 +1,145 @@
+"""Model registry and the paper's 19-network Fig. 3 roster.
+
+``get_model(name, dataset, scale)`` builds a network configured for one of
+the three (synthetic) datasets.  ``scale`` trades fidelity for laptop speed:
+
+* ``"smoke"``  — very thin nets for CI / pytest-benchmark,
+* ``"small"``  — the default; thin but architecturally faithful,
+* ``"paper"``  — full channel/depth configurations from the papers.
+"""
+
+from __future__ import annotations
+
+# Import factory functions directly (the package re-exports same-named
+# functions, so `from . import densenet` would be ambiguous).
+from .alexnet import alexnet as _make_alexnet
+from .densenet import densenet as _make_densenet
+from .googlenet import googlenet as _make_googlenet
+from .mobilenet import mobilenet as _make_mobilenet
+from .preresnet import preresnet110 as _make_preresnet110
+from .resnet import resnet18 as _make_resnet18
+from .resnet import resnet50 as _make_resnet50
+from .resnet import resnet110 as _make_resnet110
+from .resnext import resnext29 as _make_resnext29
+from .shufflenet import shufflenet as _make_shufflenet
+from .squeezenet import squeezenet as _make_squeezenet
+from .vgg import vgg19 as _make_vgg19
+from .yolo import tiny_yolov3 as _make_tiny_yolov3
+
+# Dataset presets: (num_classes, input_size).  The synthetic stand-ins for
+# the paper's datasets (DESIGN.md §2): "imagenet" is a 100-class, 64x64
+# procedural dataset.
+DATASETS = {
+    "cifar10": (10, 32),
+    "cifar100": (100, 32),
+    "imagenet": (100, 64),
+}
+
+_WIDTH_BY_SCALE = {"smoke": 0.125, "small": 0.25, "paper": 1.0}
+
+# Depth overrides for the very deep CIFAR nets at sub-paper scales: keeps the
+# 6n+2 family shape while making campaigns laptop-fast.
+_DEPTH_BY_SCALE = {"smoke": 20, "small": 32, "paper": 110}
+_DENSE_DEPTH_BY_SCALE = {"smoke": 16, "small": 22, "paper": 40}
+
+
+def _simple(factory, **extra):
+    def build(num_classes, input_size, width_mult, scale, rng):
+        kwargs = dict(extra)
+        return factory(num_classes=num_classes, width_mult=width_mult, rng=rng, **kwargs)
+
+    return build
+
+
+def _build_alexnet(num_classes, input_size, width_mult, scale, rng):
+    return _make_alexnet(num_classes=num_classes, input_size=input_size,
+                            width_mult=width_mult, rng=rng)
+
+
+def _build_vgg19(num_classes, input_size, width_mult, scale, rng):
+    return _make_vgg19(num_classes=num_classes, input_size=input_size,
+                      width_mult=width_mult, rng=rng)
+
+
+def _build_resnet110(num_classes, input_size, width_mult, scale, rng):
+    return _make_resnet110(num_classes=num_classes, width_mult=width_mult,
+                             depth=_DEPTH_BY_SCALE[scale], rng=rng)
+
+
+def _build_preresnet110(num_classes, input_size, width_mult, scale, rng):
+    return _make_preresnet110(num_classes=num_classes, width_mult=width_mult,
+                                   depth=_DEPTH_BY_SCALE[scale], rng=rng)
+
+
+def _build_densenet(num_classes, input_size, width_mult, scale, rng):
+    return _make_densenet(num_classes=num_classes, width_mult=width_mult,
+                              depth=_DENSE_DEPTH_BY_SCALE[scale], rng=rng)
+
+
+BUILDERS = {
+    "alexnet": _build_alexnet,
+    "vgg19": _build_vgg19,
+    "resnet18": _simple(_make_resnet18),
+    "resnet50": _simple(_make_resnet50),
+    "resnet110": _build_resnet110,
+    "preresnet110": _build_preresnet110,
+    "resnext": _simple(_make_resnext29),
+    "densenet": _build_densenet,
+    "googlenet": _simple(_make_googlenet),
+    "mobilenet": _simple(_make_mobilenet),
+    "shufflenet": _simple(_make_shufflenet),
+    "squeezenet": _simple(_make_squeezenet),
+}
+
+# The 19 (network, dataset) pairs of Fig. 3, in the paper's x-axis order.
+FIG3_ROSTER = (
+    ("alexnet", "cifar10"),
+    ("densenet", "cifar10"),
+    ("preresnet110", "cifar10"),
+    ("resnet110", "cifar10"),
+    ("resnext", "cifar10"),
+    ("vgg19", "cifar10"),
+    ("alexnet", "cifar100"),
+    ("densenet", "cifar100"),
+    ("preresnet110", "cifar100"),
+    ("resnet110", "cifar100"),
+    ("resnext", "cifar100"),
+    ("vgg19", "cifar100"),
+    ("alexnet", "imagenet"),
+    ("googlenet", "imagenet"),
+    ("mobilenet", "imagenet"),
+    ("resnet50", "imagenet"),
+    ("shufflenet", "imagenet"),
+    ("squeezenet", "imagenet"),
+    ("vgg19", "imagenet"),
+)
+
+# The six INT8 ImageNet classifiers of the Fig. 4 campaign.
+FIG4_NETWORKS = ("alexnet", "googlenet", "resnet50", "shufflenet", "squeezenet", "vgg19")
+
+
+def list_models():
+    return sorted(BUILDERS)
+
+
+def dataset_preset(dataset):
+    try:
+        return DATASETS[dataset]
+    except KeyError:
+        raise ValueError(f"unknown dataset {dataset!r}; have {sorted(DATASETS)}") from None
+
+
+def get_model(name, dataset="cifar10", scale="small", width_mult=None, rng=None):
+    """Build a zoo model configured for one of the synthetic datasets."""
+    if name == "tiny_yolov3":
+        width = width_mult if width_mult is not None else _WIDTH_BY_SCALE[scale]
+        return _make_tiny_yolov3(width_mult=width, rng=rng)
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; have {list_models()}") from None
+    num_classes, input_size = dataset_preset(dataset)
+    if scale not in _WIDTH_BY_SCALE:
+        raise ValueError(f"unknown scale {scale!r}; have {sorted(_WIDTH_BY_SCALE)}")
+    width = width_mult if width_mult is not None else _WIDTH_BY_SCALE[scale]
+    return builder(num_classes, input_size, width, scale, rng)

@@ -1,0 +1,151 @@
+"""ResNet (He et al.), covering both forms the paper uses:
+
+* the ImageNet-style family (``resnet18``, ``resnet50``) with a stem and
+  four stages — ``resnet18`` is the Table I training network;
+* the CIFAR-style family (``resnet110`` and any other ``6n+2`` depth) with
+  three 16/32/64-channel stages — the Fig. 3 ResNet-110.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import GlobalPoolLinear, scaled
+
+
+class BasicBlock(nn.Module):
+    expansion = 1
+
+    def __init__(self, in_channels, channels, stride=1, rng=None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, channels, 3, stride=stride, padding=1,
+                               bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + self.downsample(x))
+
+
+class Bottleneck(nn.Module):
+    expansion = 4
+
+    def __init__(self, in_channels, channels, stride=1, rng=None):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, stride=stride, padding=1,
+                               bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.conv3 = nn.Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu(out + self.downsample(x))
+
+
+class ResNet(nn.Module):
+    """ImageNet-style ResNet with a 3x3 stem (small-input adaptation)."""
+
+    def __init__(self, block, layers, num_classes=10, in_channels=3, width_mult=1.0,
+                 base_width=64, rng=None):
+        super().__init__()
+        width = scaled(base_width, width_mult)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+        )
+        stages = []
+        channels = width
+        in_ch = width
+        for stage_index, num_blocks in enumerate(layers):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(num_blocks):
+                blocks.append(
+                    block(in_ch, channels, stride=stride if block_index == 0 else 1, rng=rng)
+                )
+                in_ch = channels * block.expansion
+            stages.append(nn.Sequential(*blocks))
+            channels *= 2
+        self.stages = nn.Sequential(*stages)
+        self.head = GlobalPoolLinear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.stages(self.stem(x)))
+
+
+class CifarResNet(nn.Module):
+    """The 6n+2 CIFAR ResNet of the original paper (e.g. ResNet-110)."""
+
+    def __init__(self, depth=110, num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+        if (depth - 2) % 6:
+            raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
+        n = (depth - 2) // 6
+        widths = [scaled(16, width_mult, minimum=4), scaled(32, width_mult, minimum=8),
+                  scaled(64, width_mult, minimum=16)]
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+        )
+        stages = []
+        in_ch = widths[0]
+        for stage_index, width in enumerate(widths):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(n):
+                blocks.append(
+                    BasicBlock(in_ch, width, stride=stride if block_index == 0 else 1, rng=rng)
+                )
+                in_ch = width
+            stages.append(nn.Sequential(*blocks))
+        self.stages = nn.Sequential(*stages)
+        self.head = GlobalPoolLinear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.stages(self.stem(x)))
+
+
+def resnet18(num_classes=10, width_mult=1.0, rng=None, **kwargs):
+    return ResNet(BasicBlock, (2, 2, 2, 2), num_classes=num_classes, width_mult=width_mult,
+                  rng=rng, **kwargs)
+
+
+def resnet34(num_classes=10, width_mult=1.0, rng=None, **kwargs):
+    return ResNet(BasicBlock, (3, 4, 6, 3), num_classes=num_classes, width_mult=width_mult,
+                  rng=rng, **kwargs)
+
+
+def resnet50(num_classes=10, width_mult=1.0, rng=None, **kwargs):
+    return ResNet(Bottleneck, (3, 4, 6, 3), num_classes=num_classes, width_mult=width_mult,
+                  rng=rng, **kwargs)
+
+
+def resnet110(num_classes=10, width_mult=1.0, depth=110, rng=None, **kwargs):
+    return CifarResNet(depth=depth, num_classes=num_classes, width_mult=width_mult,
+                       rng=rng, **kwargs)

@@ -1,0 +1,81 @@
+"""ResNeXt (Xie et al.), CIFAR form (ResNeXt-29-style, grouped bottlenecks)."""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import GlobalPoolLinear, scaled
+
+
+class ResNeXtBlock(nn.Module):
+    """Bottleneck with grouped 3x3 convolution (the "cardinality" path)."""
+
+    def __init__(self, in_channels, channels, cardinality=8, stride=1, expansion=4, rng=None):
+        super().__init__()
+        group_width = channels  # inner width; must divide by cardinality
+        if group_width % cardinality:
+            raise ValueError(
+                f"inner width {group_width} not divisible by cardinality {cardinality}"
+            )
+        out_channels = channels * expansion // 2
+        self.conv1 = nn.Conv2d(in_channels, group_width, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(group_width)
+        self.conv2 = nn.Conv2d(group_width, group_width, 3, stride=stride, padding=1,
+                               groups=cardinality, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(group_width)
+        self.conv3 = nn.Conv2d(group_width, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+        self.out_channels = out_channels
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu(out + self.downsample(x))
+
+
+class ResNeXt(nn.Module):
+    """Three-stage CIFAR ResNeXt (depth 29 => 3 blocks per stage)."""
+
+    def __init__(self, depth=29, cardinality=8, base_width=64, num_classes=10,
+                 in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+        if (depth - 2) % 9:
+            raise ValueError(f"ResNeXt depth must be 9n+2, got {depth}")
+        n = (depth - 2) // 9
+        width = scaled(base_width, width_mult, minimum=cardinality, divisor=cardinality)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+        )
+        stages = []
+        in_ch = width
+        inner = width
+        for stage_index in range(3):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(n):
+                block = ResNeXtBlock(in_ch, inner, cardinality=cardinality,
+                                     stride=stride if block_index == 0 else 1, rng=rng)
+                blocks.append(block)
+                in_ch = block.out_channels
+            stages.append(nn.Sequential(*blocks))
+            inner *= 2
+        self.stages = nn.Sequential(*stages)
+        self.head = GlobalPoolLinear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.stages(self.stem(x)))
+
+
+def resnext29(num_classes=10, cardinality=8, width_mult=1.0, rng=None, **kwargs):
+    return ResNeXt(depth=29, cardinality=cardinality, num_classes=num_classes,
+                   width_mult=width_mult, rng=rng, **kwargs)

@@ -1,0 +1,82 @@
+"""ShuffleNet v1 (Zhang et al.): grouped 1x1 convs + channel shuffle."""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import cat
+from .common import channel_shuffle, scaled
+
+
+class ShuffleUnit(nn.Module):
+    """Grouped 1x1 -> shuffle -> depthwise 3x3 -> grouped 1x1, residual.
+
+    ``stride=2`` units concatenate an average-pooled shortcut, as in the
+    original paper.
+    """
+
+    def __init__(self, in_channels, out_channels, groups=2, stride=1, rng=None):
+        super().__init__()
+        self.stride = stride
+        self.groups = groups
+        branch_out = out_channels - in_channels if stride == 2 else out_channels
+        mid = max(groups, branch_out // 4 // groups * groups)
+        self.compress = nn.Sequential(
+            nn.Conv2d(in_channels, mid, 1, groups=groups, bias=False, rng=rng),
+            nn.BatchNorm2d(mid),
+            nn.ReLU(),
+        )
+        self.depthwise = nn.Sequential(
+            nn.Conv2d(mid, mid, 3, stride=stride, padding=1, groups=mid, bias=False, rng=rng),
+            nn.BatchNorm2d(mid),
+        )
+        self.expand = nn.Sequential(
+            nn.Conv2d(mid, branch_out, 1, groups=groups, bias=False, rng=rng),
+            nn.BatchNorm2d(branch_out),
+        )
+        self.relu = nn.ReLU()
+        if stride == 2:
+            self.shortcut = nn.AvgPool2d(2)
+
+    def forward(self, x):
+        out = self.compress(x)
+        out = channel_shuffle(out, self.groups)
+        out = self.expand(self.depthwise(out))
+        if self.stride == 2:
+            return self.relu(cat([self.shortcut(x), out], axis=1))
+        return self.relu(x + out)
+
+
+class ShuffleNet(nn.Module):
+    """Three stages of shuffle units (4/8/4 blocks in the original)."""
+
+    def __init__(self, num_classes=100, in_channels=3, groups=2, width_mult=1.0,
+                 stage_blocks=(4, 8, 4), rng=None):
+        super().__init__()
+        # Stage output channels for groups=2 in the original paper: 200/400/800.
+        plan = [scaled(c, width_mult, minimum=groups * 8, divisor=groups * 4)
+                for c in (200, 400, 800)]
+        first = scaled(24, width_mult, minimum=8)
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, first, 3, stride=2, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(first),
+            nn.ReLU(),
+        )
+        stages = []
+        channels = first
+        for stage_channels, blocks in zip(plan, stage_blocks):
+            units = [ShuffleUnit(channels, stage_channels, groups=groups, stride=2, rng=rng)]
+            channels = stage_channels
+            for _ in range(blocks - 1):
+                units.append(ShuffleUnit(channels, channels, groups=groups, stride=1, rng=rng))
+            stages.append(nn.Sequential(*units))
+        self.stages = nn.Sequential(*stages)
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stages(self.stem(x))
+        return self.fc(out.mean(axis=(2, 3)))
+
+
+def shufflenet(num_classes=100, width_mult=1.0, groups=2, rng=None, **kwargs):
+    return ShuffleNet(num_classes=num_classes, width_mult=width_mult, groups=groups, rng=rng,
+                      **kwargs)

@@ -1,0 +1,76 @@
+"""SqueezeNet (Iandola et al.): Fire modules, small-input adaptation."""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import cat
+from ..tensor import rng as _rng
+from .common import scaled
+
+
+class Fire(nn.Module):
+    """squeeze 1x1 -> (expand 1x1 || expand 3x3), concatenated."""
+
+    def __init__(self, in_channels, squeeze, expand1, expand3, rng=None):
+        super().__init__()
+        self.squeeze = nn.Conv2d(in_channels, squeeze, 1, rng=rng)
+        self.expand1 = nn.Conv2d(squeeze, expand1, 1, rng=rng)
+        self.expand3 = nn.Conv2d(squeeze, expand3, 3, padding=1, rng=rng)
+        self.relu = nn.ReLU()
+        self.out_channels = expand1 + expand3
+
+    def forward(self, x):
+        s = self.relu(self.squeeze(x))
+        return cat([self.relu(self.expand1(s)), self.relu(self.expand3(s))], axis=1)
+
+
+class SqueezeNet(nn.Module):
+    """SqueezeNet v1.1 plan with a conv classifier head."""
+
+    def __init__(self, num_classes=100, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+
+        def s(c):
+            # Minimum of 8: the squeeze bottleneck dies (constant output,
+            # uniform predictions) when compressed below ~8 channels.
+            return scaled(c, width_mult, minimum=8)
+
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, s(64), 3, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.fires = nn.Sequential(
+            Fire(s(64), s(16), s(64), s(64), rng=rng),
+            Fire(s(128), s(16), s(64), s(64), rng=rng),
+            nn.MaxPool2d(2),
+            Fire(s(128), s(32), s(128), s(128), rng=rng),
+            Fire(s(256), s(32), s(128), s(128), rng=rng),
+            Fire(s(256), s(48), s(192), s(192), rng=rng),
+            Fire(s(384), s(48), s(192), s(192), rng=rng),
+            Fire(s(384), s(64), s(256), s(256), rng=rng),
+            Fire(s(512), s(64), s(256), s(256), rng=rng),
+        )
+        # SqueezeNet classifies with a 1x1 conv then global pooling.  (The
+        # original also ReLUs the classifier conv; with mean pooling over a
+        # small map and few classes that kills gradients early in training,
+        # so the logits here are left un-rectified.)
+        self.classifier_conv = nn.Conv2d(s(512), num_classes, 1, rng=rng)
+        # SqueezeNet has no batch norm, so the torch-default
+        # kaiming_uniform(a=sqrt(5)) init (gain ~0.58) shrinks activations
+        # ~10x per Fire module and gradients vanish; re-initialise every
+        # conv with the ReLU-gain He scheme the original SqueezeNet used.
+        gen = _rng.coerce_generator(rng)
+        for module in self.modules():
+            if isinstance(module, nn.Conv2d):
+                nn.init.kaiming_normal_(module.weight, nonlinearity="relu", rng=gen)
+                if module.bias is not None:
+                    nn.init.zeros_(module.bias)
+
+    def forward(self, x):
+        out = self.fires(self.stem(x))
+        return self.classifier_conv(out).mean(axis=(2, 3))
+
+
+def squeezenet(num_classes=100, width_mult=1.0, rng=None, **kwargs):
+    return SqueezeNet(num_classes=num_classes, width_mult=width_mult, rng=rng, **kwargs)

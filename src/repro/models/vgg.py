@@ -1,0 +1,69 @@
+"""VGG (Simonyan & Zisserman), config-driven, with the CIFAR-style head."""
+
+from __future__ import annotations
+
+from .. import nn
+from .common import scaled
+
+CONFIGS = {
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg13": (64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg16": (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M",
+              512, 512, 512, "M"),
+    "vgg19": (64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512, 512, 512,
+              "M", 512, 512, 512, 512, "M"),
+}
+
+
+class VGG(nn.Module):
+    """VGG with batch-norm and a single-linear classifier head.
+
+    Five max-pools divide the input size by 32; the CIFAR variant
+    (``input_size=32``) therefore ends at 1x1 and the 64x64 variant at 2x2.
+    """
+
+    def __init__(self, config="vgg19", num_classes=10, in_channels=3, width_mult=1.0,
+                 input_size=32, batch_norm=True, rng=None):
+        super().__init__()
+        if isinstance(config, str):
+            try:
+                config = CONFIGS[config]
+            except KeyError:
+                raise ValueError(f"unknown VGG config {config!r}; have {sorted(CONFIGS)}") from None
+        if input_size % 32:
+            raise ValueError(f"VGG needs input_size divisible by 32, got {input_size}")
+        layers = []
+        channels = in_channels
+        last = channels
+        for item in config:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            out = scaled(item, width_mult)
+            layers.append(nn.Conv2d(channels, out, 3, padding=1, bias=not batch_norm, rng=rng))
+            if batch_norm:
+                layers.append(nn.BatchNorm2d(out))
+            layers.append(nn.ReLU())
+            channels = out
+            last = out
+        self.features = nn.Sequential(*layers)
+        spatial = input_size // 32
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(last * spatial * spatial, num_classes, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+
+def vgg11(num_classes=10, **kwargs):
+    return VGG("vgg11", num_classes=num_classes, **kwargs)
+
+
+def vgg16(num_classes=10, **kwargs):
+    return VGG("vgg16", num_classes=num_classes, **kwargs)
+
+
+def vgg19(num_classes=10, **kwargs):
+    return VGG("vgg19", num_classes=num_classes, **kwargs)

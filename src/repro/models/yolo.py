@@ -1,0 +1,94 @@
+"""TinyYOLOv3: a faithful-in-structure YOLOv3 for the Fig. 5 study.
+
+Structure follows YOLOv3-tiny: a Darknet-style backbone of conv-BN-leaky
+blocks with stride-2 downsampling, and two detection heads at strides 16
+and 32 connected by a feature-pyramid upsample path.  Each head predicts,
+per anchor and grid cell, ``(tx, ty, tw, th, objectness, class logits)``.
+Decoding (sigmoid offsets, anchor scaling, NMS) lives in
+:mod:`repro.detection`.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..tensor import cat
+from .common import ConvBNLeaky, scaled
+
+# Anchors (w, h) in pixels, per head: head 0 = stride 32, head 1 = stride 16.
+DEFAULT_ANCHORS = (
+    ((81, 82), (135, 169), (344, 319)),
+    ((10, 14), (23, 27), (37, 58)),
+)
+
+
+class YoloHead(nn.Module):
+    """1x1 conv producing ``n_anchors * (5 + n_classes)`` prediction maps."""
+
+    def __init__(self, in_channels, n_anchors, n_classes, rng=None):
+        super().__init__()
+        self.n_anchors = n_anchors
+        self.n_classes = n_classes
+        self.conv = nn.Conv2d(in_channels, n_anchors * (5 + n_classes), 1, rng=rng)
+
+    def forward(self, x):
+        return self.conv(x)
+
+
+class TinyYOLOv3(nn.Module):
+    """Two-scale YOLOv3-tiny detector.
+
+    ``forward`` returns ``[head32_raw, head16_raw]`` — raw prediction maps of
+    shape ``(N, A*(5+C), H, W)``.  Use :func:`repro.detection.decode` to turn
+    them into boxes.
+    """
+
+    def __init__(self, num_classes=8, in_channels=3, width_mult=1.0,
+                 anchors=DEFAULT_ANCHORS, image_size=64, rng=None):
+        super().__init__()
+        if image_size % 32:
+            raise ValueError(f"image_size must be divisible by 32, got {image_size}")
+        self.num_classes = num_classes
+        self.anchors = anchors
+        self.image_size = image_size
+
+        def s(c):
+            return scaled(c, width_mult, minimum=8)
+
+        # Backbone: 5 downsamples -> stride 32.
+        self.b1 = ConvBNLeaky(in_channels, s(16), rng=rng)
+        self.b2 = ConvBNLeaky(s(16), s(32), stride=2, rng=rng)
+        self.b3 = ConvBNLeaky(s(32), s(64), stride=2, rng=rng)
+        self.b4 = ConvBNLeaky(s(64), s(128), stride=2, rng=rng)
+        self.b5 = ConvBNLeaky(s(128), s(256), stride=2, rng=rng)  # stride 16 feature
+        self.b6 = ConvBNLeaky(s(256), s(512), stride=2, rng=rng)  # stride 32 feature
+
+        # Stride-32 head path.
+        self.neck32 = ConvBNLeaky(s(512), s(256), kernel_size=1, padding=0, rng=rng)
+        self.head32_pre = ConvBNLeaky(s(256), s(512), rng=rng)
+        self.head32 = YoloHead(s(512), len(anchors[0]), num_classes, rng=rng)
+
+        # Upsample path to the stride-16 head.
+        self.up_conv = ConvBNLeaky(s(256), s(128), kernel_size=1, padding=0, rng=rng)
+        self.upsample = nn.Upsample(scale_factor=2)
+        self.head16_pre = ConvBNLeaky(s(128) + s(256), s(256), rng=rng)
+        self.head16 = YoloHead(s(256), len(anchors[1]), num_classes, rng=rng)
+
+    def forward(self, x):
+        f = self.b4(self.b3(self.b2(self.b1(x))))
+        f16 = self.b5(f)
+        f32 = self.b6(f16)
+        neck = self.neck32(f32)
+        out32 = self.head32(self.head32_pre(neck))
+        up = self.upsample(self.up_conv(neck))
+        merged = cat([up, f16], axis=1)
+        out16 = self.head16(self.head16_pre(merged))
+        return [out32, out16]
+
+    @property
+    def strides(self):
+        return (32, 16)
+
+
+def tiny_yolov3(num_classes=8, width_mult=1.0, image_size=64, rng=None, **kwargs):
+    return TinyYOLOv3(num_classes=num_classes, width_mult=width_mult, image_size=image_size,
+                      rng=rng, **kwargs)

@@ -1,0 +1,67 @@
+"""Neural-network library: Module system with forward hooks, layers, losses.
+
+This package replaces ``torch.nn`` for the PyTorchFI reproduction.  The
+forward-hook contract on :class:`Module` (a hook may replace the output) is
+the mechanism the fault-injection tool in :mod:`repro.core` builds on.
+"""
+
+from . import functional, init
+from .container import ModuleList, Sequential
+from .hooks import RemovableHandle
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    Upsample,
+)
+from .loss import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss, NLLLoss
+from .module import Module
+from .parameter import Parameter
+from .serialization import checkpoint_info, load_model, save_model
+
+__all__ = [
+    "AdaptiveAvgPool2d",
+    "AvgPool2d",
+    "BCEWithLogitsLoss",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "LeakyReLU",
+    "Linear",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "NLLLoss",
+    "Parameter",
+    "ReLU",
+    "RemovableHandle",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "Upsample",
+    "checkpoint_info",
+    "load_model",
+    "save_model",
+    "functional",
+    "init",
+]

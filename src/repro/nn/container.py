@@ -1,0 +1,73 @@
+"""Module containers: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order; accepts positional modules or an OrderedDict."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], OrderedDict):
+            for name, module in modules[0].items():
+                self.add_module(name, module)
+        else:
+            for index, module in enumerate(modules):
+                self.add_module(str(index), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def append(self, module):
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __len__(self):
+        return len(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index):
+        values = list(self._modules.values())
+        if isinstance(index, slice):
+            return Sequential(*values[index])
+        return values[index]
+
+
+class ModuleList(Module):
+    """A list of modules that registers its items as children."""
+
+    def __init__(self, modules=None):
+        super().__init__()
+        if modules is not None:
+            for module in modules:
+                self.append(module)
+
+    def append(self, module):
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def extend(self, modules):
+        for module in modules:
+            self.append(module)
+        return self
+
+    def __len__(self):
+        return len(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index):
+        values = list(self._modules.values())
+        return values[index]
+
+    def forward(self, *inputs):
+        raise NotImplementedError("ModuleList is a container and has no forward()")

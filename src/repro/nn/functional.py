@@ -1,0 +1,336 @@
+"""Functional neural-network kernels with custom autograd rules.
+
+The convolution is implemented with an im2col transform over
+``numpy.lib.stride_tricks.sliding_window_view`` (forward) and a col2im
+scatter (backward); grouped convolution supports the depthwise nets in the
+zoo (MobileNet, ShuffleNet).  All kernels are pure numpy — this is the
+"silicon" of the reproduction, replacing PyTorch's ATen (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..tensor import Tensor
+from ..tensor import rng as _rng
+
+
+def _pair(value):
+    """Coerce an int-or-pair argument to a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected an int or a pair, got {value!r}")
+        return tuple(int(v) for v in value)
+    return (int(value), int(value))
+
+
+def _conv_output_size(size, kernel, stride, padding):
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces empty output: input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _windows(padded, kernel_hw, stride_hw):
+    """Strided view ``(N, C, OH, OW, KH, KW)`` over a padded NCHW array."""
+    kh, kw = kernel_hw
+    sh, sw = stride_hw
+    view = sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    return view[:, :, ::sh, ::sw]
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
+    """2-D convolution (cross-correlation) on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, KH, KW)``.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    dh, dw = _pair(dilation)
+    if (dh, dw) != (1, 1):
+        raise NotImplementedError("dilation > 1 is not required by the model zoo and is unsupported")
+    n, c, h, w = x.shape
+    oc, c_per_group, kh, kw = weight.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"input channels ({c}) do not match weight ({c_per_group}) x groups ({groups})"
+        )
+    if oc % groups != 0:
+        raise ValueError(f"out_channels ({oc}) must be divisible by groups ({groups})")
+    oh = _conv_output_size(h, kh, sh, ph)
+    ow = _conv_output_size(w, kw, sw, pw)
+
+    xd = x.data
+    padded = np.pad(xd, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else xd
+    cols = _windows(padded, (kh, kw), (sh, sw))  # (N, C, OH, OW, KH, KW)
+    oc_per_group = oc // groups
+    # (N, G, OH, OW, Cg*KH*KW)
+    cols_g = cols.reshape(n, groups, c_per_group, oh, ow, kh, kw)
+    cols_mat = np.ascontiguousarray(cols_g.transpose(0, 1, 3, 4, 2, 5, 6)).reshape(
+        n, groups, oh * ow, c_per_group * kh * kw
+    )
+    w_mat = weight.data.reshape(groups, oc_per_group, c_per_group * kh * kw)
+    # (N, G, OH*OW, OCg)
+    out = np.matmul(cols_mat, w_mat.transpose(0, 2, 1))
+    out = out.transpose(0, 1, 3, 2).reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        g = np.ascontiguousarray(g)
+        # (N, G, OCg, OH*OW)
+        g_mat = g.reshape(n, groups, oc_per_group, oh * ow)
+        grad_w = grad_x = grad_b = None
+        if weight.requires_grad:
+            # sum over batch: (G, OCg, Cg*KH*KW)
+            grad_w = np.einsum("ngop,ngpk->gok", g_mat, cols_mat, optimize=True)
+            grad_w = grad_w.reshape(oc, c_per_group, kh, kw).astype(weight.dtype)
+        if x.requires_grad:
+            # (N, G, OH*OW, Cg*KH*KW)
+            grad_cols = np.matmul(g_mat.transpose(0, 1, 3, 2), w_mat)
+            grad_cols = grad_cols.reshape(n, groups, oh, ow, c_per_group, kh, kw)
+            grad_cols = grad_cols.transpose(0, 1, 4, 2, 3, 5, 6).reshape(n, c, oh, ow, kh, kw)
+            gx_padded = np.zeros_like(padded)
+            for i in range(kh):
+                for j in range(kw):
+                    gx_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += grad_cols[
+                        :, :, :, :, i, j
+                    ]
+            grad_x = gx_padded[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_padded
+            grad_x = grad_x.astype(x.dtype)
+        if bias is not None and bias.requires_grad:
+            grad_b = g.sum(axis=(0, 2, 3)).astype(bias.dtype)
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._from_op(out.astype(x.dtype), parents, backward, "conv2d", x.device)
+
+
+def linear(x, weight, bias=None):
+    """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``."""
+    out = x @ weight.transpose(1, 0) if weight.ndim == 2 else x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x, kernel_size, stride=None, padding=0):
+    """Max pooling over NCHW input with argmax-routed gradients."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, sh, ph)
+    ow = _conv_output_size(w, kw, sw, pw)
+    xd = x.data
+    if ph or pw:
+        padded = np.pad(xd, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf)
+    else:
+        padded = xd
+    cols = _windows(padded, (kh, kw), (sh, sw)).reshape(n, c, oh, ow, kh * kw)
+    flat_arg = cols.argmax(axis=-1)
+    out = np.take_along_axis(cols, flat_arg[..., None], axis=-1)[..., 0]
+
+    def backward(g):
+        grad_padded = np.zeros_like(padded, dtype=g.dtype)
+        ki, kj = np.unravel_index(flat_arg, (kh, kw))
+        ni, ci, oi, oj = np.indices((n, c, oh, ow), sparse=False)
+        rows = oi * sh + ki
+        colsx = oj * sw + kj
+        np.add.at(grad_padded, (ni, ci, rows, colsx), g)
+        if ph or pw:
+            return (grad_padded[:, :, ph : ph + h, pw : pw + w],)
+        return (grad_padded,)
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "max_pool2d", x.device)
+
+
+def avg_pool2d(x, kernel_size, stride=None, padding=0):
+    """Average pooling over NCHW input."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, sh, ph)
+    ow = _conv_output_size(w, kw, sw, pw)
+    xd = x.data
+    padded = np.pad(xd, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else xd
+    cols = _windows(padded, (kh, kw), (sh, sw))
+    out = cols.mean(axis=(-2, -1))
+
+    def backward(g):
+        grad_padded = np.zeros_like(padded, dtype=g.dtype)
+        share = g / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                grad_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += share
+        if ph or pw:
+            return (grad_padded[:, :, ph : ph + h, pw : pw + w],)
+        return (grad_padded,)
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "avg_pool2d", x.device)
+
+
+def adaptive_avg_pool2d(x, output_size):
+    """Adaptive average pooling; requires input dims divisible by the target."""
+    th, tw = _pair(output_size)
+    _, _, h, w = x.shape
+    if h % th or w % tw:
+        raise ValueError(
+            f"adaptive_avg_pool2d requires divisible sizes, got input {h}x{w} -> {th}x{tw}"
+        )
+    return avg_pool2d(x, kernel_size=(h // th, w // tw))
+
+
+def global_avg_pool2d(x):
+    """Mean over the spatial dims, keeping a 1x1 spatial footprint."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def upsample_nearest2d(x, scale_factor=2):
+    """Nearest-neighbour spatial upsampling (used by the YOLO head)."""
+    s = int(scale_factor)
+    n, c, h, w = x.shape
+    out = np.repeat(np.repeat(x.data, s, axis=2), s, axis=3)
+
+    def backward(g):
+        g = g.reshape(n, c, h, s, w, s)
+        return (g.sum(axis=(3, 5)),)
+
+    return Tensor._from_op(out, (x,), backward, "upsample_nearest2d", x.device)
+
+
+def batch_norm(x, running_mean, running_var, weight=None, bias=None, training=False,
+               momentum=0.1, eps=1e-5):
+    """Batch normalization over NCHW (per-channel) or NC input.
+
+    Running statistics are updated in place when ``training`` is true,
+    matching ``torch.nn.functional.batch_norm`` semantics.
+    """
+    axes = (0, 2, 3) if x.ndim == 4 else (0,)
+    shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        if running_mean is not None:
+            count = int(np.prod([x.shape[a] for a in axes]))
+            unbiased = var.data.reshape(-1) * count / max(count - 1, 1)
+            running_mean.data[...] = (1 - momentum) * running_mean.data + momentum * mean.data.reshape(-1)
+            running_var.data[...] = (1 - momentum) * running_var.data + momentum * unbiased
+    else:
+        mean = Tensor(running_mean.data.reshape(shape), device=x.device)
+        var = Tensor(running_var.data.reshape(shape), device=x.device)
+    inv_std = (var + eps) ** -0.5
+    out = (x - mean) * inv_std
+    if weight is not None:
+        out = out * weight.reshape(shape)
+    if bias is not None:
+        out = out + bias.reshape(shape)
+    return out
+
+
+def dropout(x, p=0.5, training=True, rng=None):
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p == 0:
+        return x
+    if not 0 <= p < 1:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    gen = _rng.coerce_generator(rng)
+    mask = (gen.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask, device=x.device)
+
+
+def relu(x):
+    return x.relu()
+
+
+def leaky_relu(x, negative_slope=0.01):
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(g):
+        return (np.where(x.data > 0, g, negative_slope * g),)
+
+    return Tensor._from_op(data.astype(x.dtype), (x,), backward, "leaky_relu", x.device)
+
+
+def sigmoid(x):
+    return x.sigmoid()
+
+
+def tanh(x):
+    return x.tanh()
+
+
+def softmax(x, axis=-1):
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x, axis=-1):
+    return x.log_softmax(axis=axis)
+
+
+def cross_entropy(logits, targets, reduction="mean", label_smoothing=0.0):
+    """Softmax cross-entropy against integer class targets."""
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    n, num_classes = logits.shape
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    if label_smoothing > 0:
+        smooth = log_probs.mean(axis=-1)
+        nll = -(1 - label_smoothing) * picked - label_smoothing * smooth
+    else:
+        nll = -picked
+    if reduction == "mean":
+        return nll.mean()
+    if reduction == "sum":
+        return nll.sum()
+    if reduction == "none":
+        return nll
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def nll_loss(log_probs, targets, reduction="mean"):
+    """Negative log-likelihood on already-log-softmaxed input."""
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    n = log_probs.shape[0]
+    nll = -log_probs[np.arange(n), targets]
+    if reduction == "mean":
+        return nll.mean()
+    if reduction == "sum":
+        return nll.sum()
+    return nll
+
+
+def mse_loss(pred, target, reduction="mean"):
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    sq = (pred - target) ** 2
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def binary_cross_entropy_with_logits(logits, targets, reduction="mean"):
+    """Numerically-stable BCE on logits (used by the YOLO objectness head)."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(np.asarray(targets))
+    # log(1 + exp(-|x|)) + max(x, 0) - x * t
+    neg_abs = -logits.abs()
+    loss = logits.clip(min_value=0) - logits * targets + (neg_abs.exp() + 1.0).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def pad(x, padding, value=0.0):
+    """Spatial padding, ``padding = (left, right, top, bottom)``."""
+    return x.pad2d(padding, value=value)

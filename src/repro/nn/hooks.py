@@ -1,0 +1,37 @@
+"""Hook handles, mirroring ``torch.utils.hooks.RemovableHandle``.
+
+Forward hooks are the load-bearing mechanism of the reproduced tool: the
+fault injector registers one hook per instrumentable layer and removes them
+all when the corrupted model is torn down, so handles must support idempotent
+removal and use with ``with`` blocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_hook_ids = itertools.count()
+
+
+class RemovableHandle:
+    """A handle that removes one hook from its owning dict on ``remove()``."""
+
+    __slots__ = ("hooks_dict", "hook_id")
+
+    def __init__(self, hooks_dict):
+        self.hooks_dict = hooks_dict
+        self.hook_id = next(_hook_ids)
+
+    def remove(self):
+        """Remove the hook; safe to call more than once."""
+        self.hooks_dict.pop(self.hook_id, None)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.remove()
+        return False
+
+    def __repr__(self):
+        return f"RemovableHandle(id={self.hook_id})"

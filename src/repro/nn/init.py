@@ -1,0 +1,86 @@
+"""Weight initialization schemes (Kaiming / Xavier / uniform / constant)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import rng as _rng
+
+
+def _fan_in_out(shape):
+    if len(shape) < 2:
+        raise ValueError(f"fan computation needs >= 2 dims, got shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal_(tensor, a=0.0, mode="fan_in", nonlinearity="relu", rng=None):
+    """He initialization for ReLU-family networks."""
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    fan = fan_in if mode == "fan_in" else fan_out
+    if nonlinearity == "relu":
+        gain = math.sqrt(2.0)
+    elif nonlinearity == "leaky_relu":
+        gain = math.sqrt(2.0 / (1 + a**2))
+    elif nonlinearity == "linear":
+        gain = 1.0
+    else:
+        raise ValueError(f"unsupported nonlinearity {nonlinearity!r}")
+    std = gain / math.sqrt(fan)
+    gen = _rng.coerce_generator(rng)
+    tensor.data[...] = (gen.standard_normal(tensor.shape) * std).astype(tensor.dtype)
+    return tensor
+
+
+def kaiming_uniform_(tensor, a=math.sqrt(5), rng=None):
+    """The torch default for conv/linear weights."""
+    fan_in, _ = _fan_in_out(tensor.shape)
+    gain = math.sqrt(2.0 / (1 + a**2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    gen = _rng.coerce_generator(rng)
+    tensor.data[...] = gen.uniform(-bound, bound, size=tensor.shape).astype(tensor.dtype)
+    return tensor
+
+
+def xavier_uniform_(tensor, gain=1.0, rng=None):
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    gen = _rng.coerce_generator(rng)
+    tensor.data[...] = gen.uniform(-bound, bound, size=tensor.shape).astype(tensor.dtype)
+    return tensor
+
+
+def uniform_(tensor, low=0.0, high=1.0, rng=None):
+    gen = _rng.coerce_generator(rng)
+    tensor.data[...] = gen.uniform(low, high, size=tensor.shape).astype(tensor.dtype)
+    return tensor
+
+
+def normal_(tensor, mean=0.0, std=1.0, rng=None):
+    gen = _rng.coerce_generator(rng)
+    tensor.data[...] = (gen.standard_normal(tensor.shape) * std + mean).astype(tensor.dtype)
+    return tensor
+
+
+def constant_(tensor, value):
+    tensor.data[...] = value
+    return tensor
+
+
+def zeros_(tensor):
+    return constant_(tensor, 0.0)
+
+
+def ones_(tensor):
+    return constant_(tensor, 1.0)
+
+
+def bias_uniform_(bias, weight_shape, rng=None):
+    """The torch default bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    fan_in, _ = _fan_in_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return uniform_(bias, -bound, bound, rng=rng)

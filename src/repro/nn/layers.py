@@ -1,0 +1,265 @@
+"""Concrete layers: convolution, linear, norm, pooling, activations, dropout.
+
+``Conv2d`` is the layer the reproduced tool instruments by default — the
+paper's injector targets "convolutional operations" (§III) — so its forward
+must go through the module ``__call__`` path for hooks to fire (it does; the
+injector hooks ``Module.register_forward_hook``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, zeros
+from ..tensor import rng as _rng
+from . import functional as F
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0,
+                 dilation=1, groups=1, bias=True, rng=None):
+        super().__init__()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        self.dilation = F._pair(dilation)
+        self.groups = int(groups)
+        if self.in_channels % self.groups:
+            raise ValueError("in_channels must be divisible by groups")
+        if self.out_channels % self.groups:
+            raise ValueError("out_channels must be divisible by groups")
+        weight_shape = (
+            self.out_channels,
+            self.in_channels // self.groups,
+            *self.kernel_size,
+        )
+        self.weight = Parameter(zeros(weight_shape))
+        init.kaiming_uniform_(self.weight, rng=rng)
+        if bias:
+            self.bias = Parameter(zeros(self.out_channels))
+            init.bias_uniform_(self.bias, weight_shape, rng=rng)
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+            groups=self.groups,
+        )
+
+    def extra_repr(self):
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}, "
+            f"bias={self.bias is not None}"
+        )
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(zeros(self.out_features, self.in_features))
+        init.kaiming_uniform_(self.weight, rng=rng)
+        if bias:
+            self.bias = Parameter(zeros(self.out_features))
+            init.bias_uniform_(self.bias, self.weight.shape, rng=rng)
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self):
+        return f"in_features={self.in_features}, out_features={self.out_features}"
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1, affine=True,
+                 track_running_stats=True):
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        self.track_running_stats = track_running_stats
+        if affine:
+            self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+        if track_running_stats:
+            self.register_buffer("running_mean", Tensor(np.zeros(num_features, dtype=np.float32)))
+            self.register_buffer("running_var", Tensor(np.ones(num_features, dtype=np.float32)))
+        else:
+            self.register_buffer("running_mean", None)
+            self.register_buffer("running_var", None)
+
+    def forward(self, x):
+        use_batch_stats = self.training or not self.track_running_stats
+        return F.batch_norm(
+            x,
+            self.running_mean,
+            self.running_var,
+            weight=self.weight,
+            bias=self.bias,
+            training=use_batch_stats,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self):
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalization over (N, C) input (shares the 2-D kernel)."""
+
+
+class ReLU(Module):
+    def __init__(self, inplace=False):
+        super().__init__()
+        del inplace  # accepted for API parity; the engine is out-of-place
+
+    def forward(self, x):
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope=0.01, inplace=False):
+        super().__init__()
+        del inplace
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self):
+        return f"negative_slope={self.negative_slope}"
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return F.tanh(x)
+
+
+class Softmax(Module):
+    def __init__(self, dim=-1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x):
+        return F.softmax(x, axis=self.dim)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self):
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self):
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x):
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self):
+        return f"output_size={self.output_size}"
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x):
+        return F.global_avg_pool2d(x)
+
+
+class Upsample(Module):
+    """Nearest-neighbour upsampling (YOLO feature-pyramid path)."""
+
+    def __init__(self, scale_factor=2, mode="nearest"):
+        super().__init__()
+        if mode != "nearest":
+            raise NotImplementedError("only nearest-neighbour upsampling is implemented")
+        self.scale_factor = scale_factor
+        self.mode = mode
+
+    def forward(self, x):
+        return F.upsample_nearest2d(x, self.scale_factor)
+
+    def extra_repr(self):
+        return f"scale_factor={self.scale_factor}, mode={self.mode}"
+
+
+class Dropout(Module):
+    def __init__(self, p=0.5, rng=None):
+        super().__init__()
+        self.p = p
+        self._rng = _rng.coerce_generator(rng)
+
+    def forward(self, x):
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self):
+        return f"p={self.p}"
+
+
+class Flatten(Module):
+    def __init__(self, start_dim=1, end_dim=-1):
+        super().__init__()
+        self.start_dim = start_dim
+        self.end_dim = end_dim
+
+    def forward(self, x):
+        return x.flatten(self.start_dim, self.end_dim)
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x

@@ -1,0 +1,47 @@
+"""Loss modules wrapping the functional implementations."""
+
+from __future__ import annotations
+
+from . import functional as F
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class targets."""
+
+    def __init__(self, reduction="mean", label_smoothing=0.0):
+        super().__init__()
+        self.reduction = reduction
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits, targets):
+        return F.cross_entropy(
+            logits, targets, reduction=self.reduction, label_smoothing=self.label_smoothing
+        )
+
+
+class NLLLoss(Module):
+    def __init__(self, reduction="mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, log_probs, targets):
+        return F.nll_loss(log_probs, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    def __init__(self, reduction="mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred, target):
+        return F.mse_loss(pred, target, reduction=self.reduction)
+
+
+class BCEWithLogitsLoss(Module):
+    def __init__(self, reduction="mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits, targets):
+        return F.binary_cross_entropy_with_logits(logits, targets, reduction=self.reduction)

@@ -1,0 +1,335 @@
+"""Module base class with the forward-hook machinery the FI tool relies on.
+
+This reimplements the subset of ``torch.nn.Module`` that PyTorchFI's design
+depends on (paper §III-A):
+
+* a registry of parameters / buffers / child modules with recursive
+  iteration (``named_modules`` etc.), so the injector can enumerate and
+  address every convolution in a network;
+* **forward hooks** called after ``forward`` whose non-``None`` return value
+  *replaces* the module output — the exact contract that lets the injector
+  perturb neuron values at runtime without touching model code or framework
+  source;
+* forward *pre*-hooks (used for input perturbations and the profiling pass);
+* train/eval mode, ``state_dict`` round-tripping, device/dtype movement.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+
+import numpy as np
+
+from ..tensor import Tensor, as_device
+from ..tensor import dtypes as _dt
+from .hooks import RemovableHandle
+from .parameter import Parameter
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_forward_hooks", OrderedDict())
+        object.__setattr__(self, "_forward_pre_hooks", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Attribute routing
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name, value):
+        registries = self.__dict__.get("_parameters")
+        if registries is None:
+            # Subclass forgot super().__init__(); fail with a clear message.
+            if isinstance(value, (Parameter, Module)):
+                raise AttributeError(
+                    "cannot assign parameters/modules before Module.__init__() call"
+                )
+            object.__setattr__(self, name, value)
+            return
+        # Remove any prior registration under this name.
+        self._parameters.pop(name, None)
+        self._buffers.pop(name, None)
+        self._modules.pop(name, None)
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            object.__setattr__(self, name, value)
+
+    def __getattr__(self, name):
+        for registry in ("_parameters", "_buffers", "_modules"):
+            bucket = self.__dict__.get(registry)
+            if bucket is not None and name in bucket:
+                return bucket[name]
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __delattr__(self, name):
+        for registry in ("_parameters", "_buffers", "_modules"):
+            bucket = self.__dict__.get(registry)
+            if bucket is not None and name in bucket:
+                del bucket[name]
+                return
+        object.__delattr__(self, name)
+
+    def register_buffer(self, name, tensor):
+        """Register a non-trainable tensor (e.g. BatchNorm running stats)."""
+        if tensor is not None and not isinstance(tensor, Tensor):
+            raise TypeError(f"buffer {name!r} must be a Tensor or None")
+        self._buffers[name] = tensor
+
+    def register_parameter(self, name, param):
+        if param is not None and not isinstance(param, Parameter):
+            raise TypeError(f"parameter {name!r} must be a Parameter or None")
+        self._parameters[name] = param
+
+    def add_module(self, name, module):
+        if module is not None and not isinstance(module, Module):
+            raise TypeError(f"{name!r} must be a Module or None")
+        self._modules[name] = module
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+
+    def register_forward_hook(self, hook):
+        """Register ``hook(module, inputs, output)`` called after ``forward``.
+
+        If the hook returns a non-``None`` value it *replaces* the module's
+        output.  This is the mechanism the fault-injection tool uses to
+        perturb neuron values at runtime (paper §III-A).
+        """
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.hook_id] = hook
+        return handle
+
+    def register_forward_pre_hook(self, hook):
+        """Register ``hook(module, inputs)`` called before ``forward``.
+
+        A non-``None`` return replaces the inputs (wrapped in a tuple if the
+        hook returns a single tensor).
+        """
+        handle = RemovableHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.hook_id] = hook
+        return handle
+
+    def __call__(self, *inputs, **kwargs):
+        for hook in tuple(self._forward_pre_hooks.values()):
+            result = hook(self, inputs)
+            if result is not None:
+                inputs = result if isinstance(result, tuple) else (result,)
+        output = self.forward(*inputs, **kwargs)
+        for hook in tuple(self._forward_hooks.values()):
+            result = hook(self, inputs, output)
+            if result is not None:
+                output = result
+        return output
+
+    def forward(self, *inputs):
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix="", recurse=True):
+        for name, param in self._parameters.items():
+            if param is not None:
+                yield (prefix + name if prefix else name), param
+        if recurse:
+            for child_name, child in self._modules.items():
+                if child is None:
+                    continue
+                child_prefix = f"{prefix}{child_name}." if prefix else f"{child_name}."
+                yield from child.named_parameters(prefix=child_prefix, recurse=True)
+
+    def parameters(self, recurse=True):
+        for _, param in self.named_parameters(recurse=recurse):
+            yield param
+
+    def named_buffers(self, prefix="", recurse=True):
+        for name, buf in self._buffers.items():
+            if buf is not None:
+                yield (prefix + name if prefix else name), buf
+        if recurse:
+            for child_name, child in self._modules.items():
+                if child is None:
+                    continue
+                child_prefix = f"{prefix}{child_name}." if prefix else f"{child_name}."
+                yield from child.named_buffers(prefix=child_prefix, recurse=True)
+
+    def buffers(self, recurse=True):
+        for _, buf in self.named_buffers(recurse=recurse):
+            yield buf
+
+    def named_children(self):
+        for name, child in self._modules.items():
+            if child is not None:
+                yield name, child
+
+    def children(self):
+        for _, child in self.named_children():
+            yield child
+
+    def named_modules(self, prefix=""):
+        yield prefix, self
+        for name, child in self._modules.items():
+            if child is None:
+                continue
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(prefix=child_prefix)
+
+    def modules(self):
+        for _, module in self.named_modules():
+            yield module
+
+    def get_submodule(self, target):
+        """Fetch a descendant by dotted path, e.g. ``"features.3"``."""
+        module = self
+        if not target:
+            return module
+        for part in target.split("."):
+            bucket = module.__dict__.get("_modules", {})
+            if part not in bucket or bucket[part] is None:
+                raise AttributeError(f"no submodule named {target!r} (failed at {part!r})")
+            module = bucket[part]
+        return module
+
+    def apply(self, fn):
+        """Apply ``fn`` to self and every descendant (for weight init etc.)."""
+        for child in self.children():
+            child.apply(fn)
+        fn(self)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Mode and state
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode=True):
+        object.__setattr__(self, "training", bool(mode))
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+        return self
+
+    def state_dict(self, prefix=""):
+        """Flat ``name -> ndarray copy`` mapping of parameters and buffers."""
+        state = OrderedDict()
+        for name, param in self.named_parameters(prefix=prefix):
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers(prefix=prefix):
+            state[name] = buf.data.copy()
+        return state
+
+    def load_state_dict(self, state_dict, strict=True):
+        """Load a mapping produced by :meth:`state_dict`."""
+        own = OrderedDict()
+        for name, param in self.named_parameters():
+            own[name] = param
+        for name, buf in self.named_buffers():
+            own[name] = buf
+        missing = [k for k in own if k not in state_dict]
+        unexpected = [k for k in state_dict if k not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={missing}, unexpected={unexpected}")
+        for name, value in state_dict.items():
+            if name not in own:
+                continue
+            target = own[name]
+            value = np.asarray(value)
+            if target.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: model {target.data.shape}, state {value.shape}"
+                )
+            target.data[...] = value.astype(target.dtype)
+        return self
+
+    def to(self, target):
+        """Move all parameters/buffers to a device or cast to a float dtype."""
+        try:
+            dtype = _dt.as_dtype(target)
+        except (ValueError, TypeError):
+            dtype = None
+        if dtype is not None:
+            for param in self.parameters():
+                if _dt.is_float(param.dtype):
+                    param.data = param.data.astype(dtype)
+            for buf in self.buffers():
+                if _dt.is_float(buf.dtype):
+                    buf.data = buf.data.astype(dtype)
+            return self
+        device = as_device(target)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if param is not None:
+                    param.device = device
+            for buf in module._buffers.values():
+                if buf is not None:
+                    buf.device = device
+        return self
+
+    def float(self):
+        return self.to("float32")
+
+    def half(self):
+        return self.to("float16")
+
+    def cpu(self):
+        return self.to("cpu")
+
+    def cuda(self):
+        return self.to("cuda")
+
+    def num_parameters(self):
+        """Total trainable element count."""
+        return sum(p.numel() for p in self.parameters())
+
+    def clone(self):
+        """A deep, independent copy of the module (weights included).
+
+        Registered hooks are intentionally *not* copied: the fault injector
+        clones a model precisely to get a fresh, uninstrumented copy to
+        attach its own hooks to.
+        """
+        memo = {}
+        for module in self.modules():
+            memo[id(module._forward_hooks)] = OrderedDict()
+            memo[id(module._forward_pre_hooks)] = OrderedDict()
+        return copy.deepcopy(self, memo)
+
+    # ------------------------------------------------------------------ #
+    # Repr
+    # ------------------------------------------------------------------ #
+
+    def extra_repr(self):
+        return ""
+
+    def __repr__(self):
+        lines = []
+        extra = self.extra_repr()
+        children = list(self.named_children())
+        if not children:
+            return f"{type(self).__name__}({extra})"
+        lines.append(f"{type(self).__name__}(")
+        if extra:
+            lines.append(f"  {extra}")
+        for name, child in children:
+            child_repr = repr(child).split("\n")
+            lines.append(f"  ({name}): {child_repr[0]}")
+            lines.extend(f"  {line}" for line in child_repr[1:])
+        lines.append(")")
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered by :class:`~repro.nn.Module`.
+
+    Assigning a ``Parameter`` to a module attribute adds it to the module's
+    parameter dict (exactly ``torch.nn.Parameter`` semantics); assigning a
+    plain tensor does not.
+    """
+
+    def __init__(self, data, requires_grad=True):
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(data, requires_grad=requires_grad)
+
+    def __repr__(self):
+        return "Parameter containing:\n" + super().__repr__()

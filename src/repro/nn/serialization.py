@@ -1,0 +1,72 @@
+"""Model checkpointing: save/load state dicts to ``.npz`` files.
+
+A thin, explicit-path layer over :meth:`Module.state_dict` /
+:meth:`Module.load_state_dict` (the spec-keyed cache in
+:mod:`repro.train.cache` builds on the same format).  Checkpoints carry a
+metadata record so mismatched loads fail with a clear message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_META_KEY = "__repro_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_model(model, path, metadata=None):
+    """Write ``model``'s parameters and buffers to ``path`` (.npz).
+
+    ``metadata`` is an optional JSON-serialisable dict stored alongside the
+    arrays (e.g. training config, accuracy).  Returns the resolved path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = model.state_dict()
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "num_arrays": len(state),
+        "num_parameters": int(model.num_parameters()),
+        "user": metadata or {},
+    }
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_model(model, path, strict=True):
+    """Load a checkpoint written by :func:`save_model` into ``model``.
+
+    Returns the checkpoint's user metadata dict.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {meta.get('format_version')} not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        state = {name: archive[name] for name in archive.files if name != _META_KEY}
+    model.load_state_dict(state, strict=strict)
+    return meta.get("user", {})
+
+
+def checkpoint_info(path):
+    """The metadata of a checkpoint without loading any weights."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode())

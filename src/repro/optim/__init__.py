@@ -1,0 +1,17 @@
+"""Optimizers and learning-rate schedules (replaces ``torch.optim``)."""
+
+from .adam import Adam
+from .lr_scheduler import CosineAnnealingLR, LambdaLR, LinearRampLR, MultiStepLR, StepLR
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "CosineAnnealingLR",
+    "LambdaLR",
+    "LinearRampLR",
+    "MultiStepLR",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+]

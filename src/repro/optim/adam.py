@@ -1,0 +1,45 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        if not 0 <= betas[0] < 1 or not 0 <= betas[1] < 1:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        super().__init__(
+            params, {"lr": lr, "betas": tuple(betas), "eps": eps, "weight_decay": weight_decay}
+        )
+
+    def step(self):
+        lr = self.defaults["lr"]
+        beta1, beta2 = self.defaults["betas"]
+        eps = self.defaults["eps"]
+        weight_decay = self.defaults["weight_decay"]
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1 - beta1**t
+        bias2 = 1 - beta2**t
+        for param, state in zip(self.params, self.state):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float32, copy=False)
+            if weight_decay:
+                grad = grad + weight_decay * param.data
+            m = state.get("exp_avg")
+            v = state.get("exp_avg_sq")
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = beta1 * m + (1 - beta1) * grad
+            v = beta2 * v + (1 - beta2) * grad**2
+            state["exp_avg"] = m
+            state["exp_avg_sq"] = v
+            update = (m / bias1) / (np.sqrt(v / bias2) + eps)
+            param.data -= (lr * update).astype(param.dtype, copy=False)

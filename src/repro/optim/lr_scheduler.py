@@ -1,0 +1,93 @@
+"""Learning-rate schedules.
+
+``LinearRampLR`` doubles as the curriculum scheduler for the IBP training
+experiment (Fig. 6), which linearly scales both epsilon and alpha between two
+iteration indices — the same ramp shape, applied to loss hyper-parameters via
+:class:`repro.robust.ibp.Curriculum`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class _Scheduler:
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.defaults["lr"]
+        self.last_epoch = 0
+
+    def get_lr(self, epoch):
+        raise NotImplementedError
+
+    def step(self):
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr(self.last_epoch)
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr
+
+
+class StepLR(_Scheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        self.step_size = int(step_size)
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(_Scheduler):
+    """Decay by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(self, optimizer, milestones, gamma=0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max, eta_min=0.0):
+        super().__init__(optimizer)
+        self.t_max = int(t_max)
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch):
+        frac = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + (self.base_lr - self.eta_min) * 0.5 * (1 + math.cos(math.pi * frac))
+
+
+class LinearRampLR(_Scheduler):
+    """Linear warm-up from ``start_factor * base_lr`` to ``base_lr``."""
+
+    def __init__(self, optimizer, ramp_epochs, start_factor=0.1):
+        super().__init__(optimizer)
+        self.ramp_epochs = int(ramp_epochs)
+        self.start_factor = start_factor
+
+    def get_lr(self, epoch):
+        if epoch >= self.ramp_epochs:
+            return self.base_lr
+        frac = epoch / max(self.ramp_epochs, 1)
+        return self.base_lr * (self.start_factor + (1 - self.start_factor) * frac)
+
+
+class LambdaLR(_Scheduler):
+    """LR = base_lr * fn(epoch)."""
+
+    def __init__(self, optimizer, lr_lambda):
+        super().__init__(optimizer)
+        self.lr_lambda = lr_lambda
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.lr_lambda(epoch)

@@ -1,0 +1,35 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+
+class Optimizer:
+    """Holds parameter references and per-parameter state.
+
+    Parameters are identified by position (the iteration order of the
+    ``params`` iterable), so per-parameter state survives ``zero_grad`` and
+    is indexable without hashing tensors.
+    """
+
+    def __init__(self, params, defaults):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.defaults = dict(defaults)
+        self.state = [{} for _ in self.params]
+        self._step_count = 0
+
+    @property
+    def lr(self):
+        return self.defaults["lr"]
+
+    @lr.setter
+    def lr(self, value):
+        self.defaults["lr"] = float(value)
+
+    def zero_grad(self):
+        for param in self.params:
+            param.grad = None
+
+    def step(self):
+        raise NotImplementedError

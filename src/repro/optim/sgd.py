@@ -1,0 +1,44 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Classic SGD, matching ``torch.optim.SGD`` update semantics."""
+
+    def __init__(self, params, lr=0.1, momentum=0.0, weight_decay=0.0, nesterov=False):
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        super().__init__(
+            params,
+            {"lr": lr, "momentum": momentum, "weight_decay": weight_decay, "nesterov": nesterov},
+        )
+
+    def step(self):
+        lr = self.defaults["lr"]
+        momentum = self.defaults["momentum"]
+        weight_decay = self.defaults["weight_decay"]
+        nesterov = self.defaults["nesterov"]
+        for param, state in zip(self.params, self.state):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float32, copy=False)
+            if weight_decay:
+                grad = grad + weight_decay * param.data
+            if momentum:
+                buf = state.get("momentum_buffer")
+                if buf is None:
+                    buf = grad.copy()
+                else:
+                    buf *= momentum
+                    buf += grad
+                state["momentum_buffer"] = buf
+                grad = grad + momentum * buf if nesterov else buf
+            param.data -= (lr * grad).astype(param.dtype, copy=False)
+        self._step_count += 1

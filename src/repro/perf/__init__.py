@@ -1,0 +1,10 @@
+"""Wall-clock overhead measurement harness (Fig. 3)."""
+
+from .timing import OverheadMeasurement, measure_overhead, sweep_batch_sizes, time_inference
+
+__all__ = [
+    "OverheadMeasurement",
+    "measure_overhead",
+    "sweep_batch_sizes",
+    "time_inference",
+]

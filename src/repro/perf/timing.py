@@ -1,0 +1,113 @@
+"""Runtime-overhead measurement harness (paper §III-C, Fig. 3).
+
+The protocol matches the paper: run N inferences of a model with and
+without a single random-neuron random-value injection, average the wall
+clock, and compare.  Because weight perturbations happen offline and neuron
+perturbations cost one dict lookup plus a tiny scatter, the two averages
+should coincide within noise on every network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FaultInjection, RandomValue, random_neuron_injection
+from ..tensor import Tensor, no_grad
+from ..tensor import rng as _rng
+
+
+@dataclass
+class OverheadMeasurement:
+    """Fig. 3 data point for one (network, device) pair."""
+
+    network: str
+    dataset: str
+    device: str
+    batch_size: int
+    trials: int
+    base_mean_s: float
+    base_std_s: float
+    fi_mean_s: float
+    fi_std_s: float
+
+    @property
+    def overhead_s(self):
+        return self.fi_mean_s - self.base_mean_s
+
+    @property
+    def overhead_pct(self):
+        return 100.0 * self.overhead_s / self.base_mean_s if self.base_mean_s else 0.0
+
+    def __str__(self):
+        return (
+            f"{self.network}/{self.dataset} [{self.device}] base "
+            f"{self.base_mean_s * 1e3:.2f}ms vs FI {self.fi_mean_s * 1e3:.2f}ms "
+            f"(overhead {self.overhead_s * 1e3:+.3f}ms, {self.overhead_pct:+.2f}%)"
+        )
+
+
+def time_inference(model, inputs, trials=10, warmup=2):
+    """Mean/std wall-clock seconds of ``model(inputs)`` over ``trials`` runs."""
+    was_training = model.training
+    model.eval()
+    times = []
+    try:
+        with no_grad():
+            for _ in range(warmup):
+                model(inputs)
+            for _ in range(trials):
+                start = time.perf_counter()
+                model(inputs)
+                times.append(time.perf_counter() - start)
+    finally:
+        model.train(was_training)
+    times = np.asarray(times)
+    return float(times.mean()), float(times.std())
+
+
+def measure_overhead(model, input_shape, batch_size=1, trials=10, warmup=2,
+                     error_model=None, device="cpu", network="net", dataset="dataset",
+                     rng=None):
+    """The full Fig. 3 protocol for one network.
+
+    Measures the clean model, then the same model with one random-neuron
+    injection (the paper's default error model: uniform random in [-1, 1]
+    at a random location), on random input images.
+    """
+    gen = _rng.coerce_generator(rng)
+    inputs = Tensor(
+        gen.standard_normal((batch_size, *input_shape)).astype(np.float32)
+    ).to(device)
+    model = model.to(device)
+    base_mean, base_std = time_inference(model, inputs, trials=trials, warmup=warmup)
+    fi = FaultInjection(model, batch_size=batch_size, input_shape=input_shape, rng=gen)
+    error_model = error_model if error_model is not None else RandomValue(-1.0, 1.0)
+    corrupted, _ = random_neuron_injection(fi, error_model=error_model)
+    try:
+        fi_mean, fi_std = time_inference(corrupted, inputs, trials=trials, warmup=warmup)
+    finally:
+        fi.reset()
+    return OverheadMeasurement(
+        network=network,
+        dataset=dataset,
+        device=str(device),
+        batch_size=batch_size,
+        trials=trials,
+        base_mean_s=base_mean,
+        base_std_s=base_std,
+        fi_mean_s=fi_mean,
+        fi_std_s=fi_std,
+    )
+
+
+def sweep_batch_sizes(model, input_shape, batch_sizes=(1, 4, 16, 64), trials=5,
+                      network="net", dataset="dataset", rng=None):
+    """The §III-C batch sweep: overhead as a function of batch size."""
+    return [
+        measure_overhead(model, input_shape, batch_size=b, trials=trials,
+                         network=network, dataset=dataset, rng=rng)
+        for b in batch_sizes
+    ]

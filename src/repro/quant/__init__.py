@@ -1,0 +1,12 @@
+"""INT8 activation quantization (the Fig. 4 substrate)."""
+
+from ..core.error_models import QuantizationParams
+from .int8 import ActivationObserver, QuantizedExecution, calibrate, quantize_dequantize
+
+__all__ = [
+    "ActivationObserver",
+    "QuantizationParams",
+    "QuantizedExecution",
+    "calibrate",
+    "quantize_dequantize",
+]

@@ -1,0 +1,133 @@
+"""INT8 neuron quantization for the Fig. 4 campaign.
+
+The paper's classification study runs "six networks with INT8
+neuron-quantization" and flips single bits in the quantized neuron values.
+We implement symmetric per-layer linear quantization of *activations*:
+
+1. :class:`ActivationObserver` profiles each instrumentable layer's output
+   range over a calibration set (max-abs, the scheme of [38]'s symmetric
+   mode);
+2. :func:`calibrate` turns the observed ranges into per-layer
+   :class:`~repro.core.error_models.QuantizationParams`;
+3. :class:`QuantizedExecution` optionally *simulates* quantized inference
+   by round-tripping every instrumented layer output through INT8
+   (quantize-dequantize via forward hooks), so campaigns measure bit flips
+   against genuinely quantized activations.
+
+The error model side lives in :class:`repro.core.SingleBitFlip`, which
+flips bits in the integer domain whenever the injection context carries
+quantization parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.error_models import QuantizationParams
+from ..tensor import Tensor, no_grad
+
+
+class ActivationObserver:
+    """Record per-layer max-abs activation over calibration batches."""
+
+    def __init__(self, fi):
+        """``fi`` is a profiled :class:`repro.core.FaultInjection` engine."""
+        self.fi = fi
+        self.max_abs = np.zeros(fi.num_layers, dtype=np.float64)
+
+    def observe(self, images):
+        """Run calibration ``images`` (ndarray or Tensor) through the model."""
+        model = self.fi.model
+        handles = []
+        modules = [m for _, m in self.fi._iter_instrumentable(model)]
+
+        def make_hook(index):
+            def hook(module, inputs, output):
+                peak = float(np.abs(output.data).max())
+                if peak > self.max_abs[index]:
+                    self.max_abs[index] = peak
+
+            return hook
+
+        for index, module in enumerate(modules):
+            handles.append(module.register_forward_hook(make_hook(index)))
+        was_training = model.training
+        model.eval()
+        try:
+            batch = images if isinstance(images, Tensor) else Tensor(np.asarray(images))
+            with no_grad():
+                model(batch)
+        finally:
+            for handle in handles:
+                handle.remove()
+            model.train(was_training)
+        return self
+
+    def params(self, bits=8):
+        """Per-layer :class:`QuantizationParams` from the observed ranges."""
+        qmax = 2 ** (bits - 1) - 1
+        out = []
+        for peak in self.max_abs:
+            scale = (peak / qmax) if peak > 0 else 1.0 / qmax
+            out.append(QuantizationParams(scale=float(scale), bits=bits))
+        return out
+
+
+def calibrate(fi, images, bits=8):
+    """One-call calibration: observe ``images`` and return per-layer params."""
+    return ActivationObserver(fi).observe(images).params(bits=bits)
+
+
+def quantize_dequantize(values, params):
+    """Round-trip an array through the integer domain of ``params``."""
+    return params.dequantize(params.quantize(values))
+
+
+class QuantizedExecution:
+    """Simulate INT8 activation quantization on instrumented layers.
+
+    Installs forward hooks that round-trip every instrumentable layer's
+    output through INT8.  Compose with the fault injector by instrumenting
+    the *returned* model (hooks run in registration order, so register
+    quantization first and injections second to flip bits in values that
+    have already been quantized — or simply pass ``quantization=`` to the
+    injector, which flips in the integer domain directly).
+    """
+
+    def __init__(self, fi, params):
+        if len(params) != fi.num_layers:
+            raise ValueError(
+                f"need one QuantizationParams per layer ({fi.num_layers}), got {len(params)}"
+            )
+        self.fi = fi
+        self.params = list(params)
+        self._handles = []
+
+    def attach(self, model):
+        """Install quantize-dequantize hooks on ``model``; returns it."""
+        modules = [m for _, m in self.fi._iter_instrumentable(model)]
+        if len(modules) != self.fi.num_layers:
+            raise ValueError("model layer count does not match the profiled engine")
+
+        def make_hook(params):
+            def hook(module, inputs, output):
+                data = quantize_dequantize(output.data, params)
+                return output.inject_values(slice(None), data)
+
+            return hook
+
+        for module, params in zip(modules, self.params):
+            self._handles.append(module.register_forward_hook(make_hook(params)))
+        return model
+
+    def detach(self):
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.detach()
+        return False

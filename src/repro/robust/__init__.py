@@ -1,0 +1,30 @@
+"""Robust-model training: IBP adversarial training and FI-in-training-loop."""
+
+from .attacks import AttackResult, evaluate_attack, fgsm, pgd
+from .fi_training import ResilientTrainingResult, TrainingInjector, train_with_injection
+from .ibp import (
+    Curriculum,
+    IBPTrainResult,
+    ibp_bounds,
+    ibp_loss,
+    propagate_bounds,
+    train_ibp,
+    worst_case_logits,
+)
+
+__all__ = [
+    "AttackResult",
+    "Curriculum",
+    "IBPTrainResult",
+    "ResilientTrainingResult",
+    "TrainingInjector",
+    "evaluate_attack",
+    "fgsm",
+    "ibp_bounds",
+    "ibp_loss",
+    "propagate_bounds",
+    "pgd",
+    "train_ibp",
+    "train_with_injection",
+    "worst_case_logits",
+]

@@ -1,0 +1,99 @@
+"""Adversarial input attacks (FGSM / PGD).
+
+The paper's §IV-C studies models trained to resist adversarial input
+perturbations; this module supplies the attacks themselves so the study can
+close the loop — verifying that IBP training reduces attack success while
+PyTorchFI measures its side-effect on hardware-fault resilience.  Both
+attacks are white-box and use the engine's autograd for input gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..tensor import Tensor, no_grad
+
+
+def _input_gradient(model, images, labels):
+    """Gradient of the cross-entropy loss with respect to the input batch."""
+    x = Tensor(np.asarray(images, dtype=np.float32), requires_grad=True)
+    was_training = model.training
+    model.eval()
+    try:
+        loss = F.cross_entropy(model(x), labels)
+        loss.backward()
+    finally:
+        model.train(was_training)
+    return x.grad, float(loss.item())
+
+
+def fgsm(model, images, labels, eps):
+    """Fast Gradient Sign Method (Goodfellow et al.): one signed step."""
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    grad, _ = _input_gradient(model, images, labels)
+    return (np.asarray(images, dtype=np.float32) + eps * np.sign(grad)).astype(np.float32)
+
+
+def pgd(model, images, labels, eps, step_size=None, steps=10, rng=None):
+    """Projected Gradient Descent inside the L-inf ball of radius ``eps``."""
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    images = np.asarray(images, dtype=np.float32)
+    step_size = step_size if step_size is not None else 2.5 * eps / steps
+    if rng is not None:
+        adv = images + rng.uniform(-eps, eps, size=images.shape).astype(np.float32)
+    else:
+        adv = images.copy()
+    for _ in range(steps):
+        grad, _ = _input_gradient(model, adv, labels)
+        adv = adv + step_size * np.sign(grad)
+        adv = np.clip(adv, images - eps, images + eps).astype(np.float32)
+    return adv
+
+
+@dataclass
+class AttackResult:
+    """Outcome of an attack evaluation on one batch."""
+
+    clean_accuracy: float
+    adversarial_accuracy: float
+    eps: float
+    attack: str
+
+    @property
+    def success_rate(self):
+        """Fraction of previously-correct inputs the attack flipped."""
+        if self.clean_accuracy == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.adversarial_accuracy / self.clean_accuracy)
+
+
+def evaluate_attack(model, images, labels, eps, attack="fgsm", **kwargs):
+    """Accuracy before/after attacking one batch; returns :class:`AttackResult`."""
+    labels = np.asarray(labels)
+    attacks = {"fgsm": fgsm, "pgd": pgd}
+    try:
+        attack_fn = attacks[attack]
+    except KeyError:
+        raise ValueError(f"unknown attack {attack!r}; have {sorted(attacks)}") from None
+    adversarial = attack_fn(model, images, labels, eps, **kwargs)
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            clean_pred = model(Tensor(np.asarray(images, dtype=np.float32))).data.argmax(axis=1)
+            adv_pred = model(Tensor(adversarial)).data.argmax(axis=1)
+    finally:
+        model.train(was_training)
+    return AttackResult(
+        clean_accuracy=float((clean_pred == labels).mean()),
+        adversarial_accuracy=float((adv_pred == labels).mean()),
+        eps=float(eps),
+        attack=attack,
+    )

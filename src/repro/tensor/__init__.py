@@ -1,0 +1,70 @@
+"""Numpy-backed tensor engine with reverse-mode autograd.
+
+This package replaces the PyTorch tensor layer for the PyTorchFI
+reproduction.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from . import dtypes
+from .autograd import enable_grad, is_grad_enabled, no_grad
+from .device import CPU, CUDA, Device, as_device
+from .dtypes import as_dtype, bit_width, float16, float32, float64, int8, int32, int64, is_float, uint8
+from .rng import coerce_generator, default_generator, manual_seed, spawn
+from .tensor import (
+    Tensor,
+    arange,
+    cat,
+    from_numpy,
+    full,
+    maximum,
+    minimum,
+    ones,
+    ones_like,
+    rand,
+    randn,
+    stack,
+    tensor,
+    where,
+    zeros,
+    zeros_like,
+)
+
+__all__ = [
+    "CPU",
+    "CUDA",
+    "Device",
+    "Tensor",
+    "arange",
+    "as_device",
+    "as_dtype",
+    "bit_width",
+    "cat",
+    "coerce_generator",
+    "default_generator",
+    "dtypes",
+    "enable_grad",
+    "float16",
+    "float32",
+    "float64",
+    "from_numpy",
+    "full",
+    "int8",
+    "int32",
+    "int64",
+    "is_float",
+    "is_grad_enabled",
+    "manual_seed",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "ones",
+    "ones_like",
+    "rand",
+    "randn",
+    "spawn",
+    "stack",
+    "tensor",
+    "uint8",
+    "where",
+    "zeros",
+    "zeros_like",
+]

@@ -1,0 +1,85 @@
+"""Device abstraction for the numpy-backed tensor engine.
+
+The original PyTorchFI paper evaluates on both CPUs and GPUs.  This
+reproduction has no GPU available, so ``Device("cuda")`` is a *simulated*
+device: it shares the numpy kernels with the CPU device but is tracked as a
+distinct placement so that device propagation, ``Tensor.to`` semantics, and
+the Fig. 3 per-device overhead measurements all exercise the same code paths
+a real multi-backend engine would.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+_VALID_TYPES = ("cpu", "cuda")
+
+
+class Device:
+    """A compute placement, e.g. ``Device("cpu")`` or ``Device("cuda:0")``."""
+
+    __slots__ = ("type", "index")
+
+    def __init__(self, spec="cpu", index=None):
+        if isinstance(spec, Device):
+            self.type = spec.type
+            self.index = spec.index if index is None else index
+            return
+        if not isinstance(spec, str):
+            raise TypeError(f"device spec must be a str or Device, got {type(spec).__name__}")
+        if ":" in spec:
+            kind, _, idx = spec.partition(":")
+            if index is not None:
+                raise ValueError("cannot pass an index both in the spec string and as an argument")
+            try:
+                index = int(idx)
+            except ValueError:
+                raise ValueError(f"invalid device index in spec {spec!r}") from None
+        else:
+            kind = spec
+        if kind not in _VALID_TYPES:
+            raise ValueError(f"unknown device type {kind!r}; expected one of {_VALID_TYPES}")
+        if index is not None and index < 0:
+            raise ValueError(f"device index must be non-negative, got {index}")
+        self.type = kind
+        self.index = index
+
+    @property
+    def is_simulated(self):
+        """True for devices that share the CPU numpy backend (i.e. "cuda")."""
+        return self.type == "cuda"
+
+    def __eq__(self, other):
+        if isinstance(other, str):
+            try:
+                other = Device(other)
+            except ValueError:
+                return NotImplemented
+        if not isinstance(other, Device):
+            return NotImplemented
+        return self.type == other.type and (self.index or 0) == (other.index or 0)
+
+    def __hash__(self):
+        return hash((self.type, self.index or 0))
+
+    def __repr__(self):
+        if self.index is None:
+            return f"Device(type='{self.type}')"
+        return f"Device(type='{self.type}', index={self.index})"
+
+    def __str__(self):
+        if self.index is None:
+            return self.type
+        return f"{self.type}:{self.index}"
+
+
+CPU = Device("cpu")
+CUDA = Device("cuda")
+
+
+def as_device(spec):
+    """Coerce ``spec`` (str, Device, or None) to a :class:`Device`."""
+    if spec is None:
+        return CPU
+    if isinstance(spec, Device):
+        return spec
+    return Device(spec)

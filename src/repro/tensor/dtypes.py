@@ -1,0 +1,76 @@
+"""Dtype registry for the tensor engine.
+
+The engine supports the dtypes the paper's tool cares about: float32 (the
+PyTorch default), float16 (the FP16 inference path mentioned in §III-B), and
+the integer types used by the INT8 quantization study (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+float32 = np.dtype(np.float32)
+float16 = np.dtype(np.float16)
+float64 = np.dtype(np.float64)
+int64 = np.dtype(np.int64)
+int32 = np.dtype(np.int32)
+int8 = np.dtype(np.int8)
+uint8 = np.dtype(np.uint8)
+bool_ = np.dtype(np.bool_)
+
+_ALIASES = {
+    "float": float32,
+    "float32": float32,
+    "fp32": float32,
+    "half": float16,
+    "float16": float16,
+    "fp16": float16,
+    "double": float64,
+    "float64": float64,
+    "long": int64,
+    "int64": int64,
+    "int": int32,
+    "int32": int32,
+    "int8": int8,
+    "uint8": uint8,
+    "bool": bool_,
+}
+
+FLOAT_DTYPES = (float16, float32, float64)
+
+# Bit width of each supported dtype, used by the bit-flip error models.
+BIT_WIDTHS = {
+    float16: 16,
+    float32: 32,
+    float64: 64,
+    int8: 8,
+    uint8: 8,
+    int32: 32,
+    int64: 64,
+}
+
+
+def as_dtype(spec):
+    """Coerce a dtype spec (str alias, numpy dtype, or type) to ``np.dtype``."""
+    if spec is None:
+        return float32
+    if isinstance(spec, str):
+        try:
+            return _ALIASES[spec]
+        except KeyError:
+            raise ValueError(f"unknown dtype alias {spec!r}") from None
+    return np.dtype(spec)
+
+
+def is_float(dtype):
+    """True if ``dtype`` is one of the supported floating-point dtypes."""
+    return np.dtype(dtype) in FLOAT_DTYPES
+
+
+def bit_width(dtype):
+    """Number of bits in one element of ``dtype``."""
+    dtype = np.dtype(dtype)
+    try:
+        return BIT_WIDTHS[dtype]
+    except KeyError:
+        raise ValueError(f"no known bit width for dtype {dtype}") from None

@@ -1,0 +1,767 @@
+"""A numpy-backed tensor with reverse-mode autograd.
+
+This module is the substrate replacing ``torch.Tensor`` for the PyTorchFI
+reproduction (see DESIGN.md §2).  It implements the subset of the PyTorch
+tensor surface that the model zoo, the training loops, and the fault-
+injection tool require: broadcasting arithmetic, matmul, reductions, shape
+ops, activations, indexing (with gradient), concatenation, padding, and a
+straight-through ``inject_values`` op used by the FI hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import dtypes as _dt
+from . import rng as _rng
+from .autograd import GradContext, is_grad_enabled, no_grad, topo_order
+from .device import CPU, as_device
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` back to ``shape`` after a broadcasting op."""
+    if grad.shape == tuple(shape):
+        return grad
+    # Sum out prepended broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along dimensions that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _coerce_operand(value, like):
+    """Coerce a python scalar / ndarray to a Tensor matching ``like``'s device."""
+    if isinstance(value, Tensor):
+        return value
+    data = np.asarray(value, dtype=like.dtype if np.isscalar(value) else None)
+    return Tensor(data, device=like.device)
+
+
+class Tensor:
+    """A multi-dimensional array with optional gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Float data defaults to float32.
+    requires_grad:
+        Whether gradients should accumulate into ``.grad`` on ``backward``.
+    dtype, device:
+        Optional dtype/device overrides.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_ctx", "device", "_retains_grad")
+
+    def __init__(self, data, requires_grad=False, dtype=None, device=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(_dt.as_dtype(dtype), copy=False)
+        elif arr.dtype == np.float64:
+            # Match the torch default of float32 for float data.
+            arr = arr.astype(np.float32)
+        if requires_grad and not _dt.is_float(arr.dtype):
+            raise ValueError(f"only floating-point tensors can require grad, got dtype {arr.dtype}")
+        self.data = arr
+        self.requires_grad = bool(requires_grad)
+        self.grad = None
+        self._ctx = None
+        self._retains_grad = False
+        self.device = as_device(device)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def is_leaf(self):
+        return self._ctx is None
+
+    def numel(self):
+        return int(self.data.size)
+
+    def dim(self):
+        return self.data.ndim
+
+    def item(self):
+        return self.data.item()
+
+    def numpy(self):
+        """The underlying ndarray (shared memory; do not mutate graph nodes)."""
+        return self.data
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=20)}{grad_note})"
+
+    def __bool__(self):
+        if self.data.size != 1:
+            raise ValueError("truth value of a multi-element tensor is ambiguous")
+        return bool(self.data.item())
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_op(cls, data, parents, backward_fn, name, device=None):
+        """Create an op output, wiring the backward closure if recording."""
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out._ctx = None
+        out._retains_grad = False
+        out.device = device if device is not None else (parents[0].device if parents else CPU)
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out.requires_grad = needs
+        if needs:
+            out._ctx = GradContext(parents, backward_fn, name)
+        return out
+
+    def detach(self):
+        """A view on the same data, cut from the graph."""
+        return Tensor(self.data, requires_grad=False, device=self.device)
+
+    def clone(self):
+        """A differentiable copy."""
+        return Tensor._from_op(self.data.copy(), (self,), lambda g: (g,), "clone")
+
+    def retain_grad(self):
+        """Keep ``.grad`` on this non-leaf tensor after ``backward``."""
+        self._retains_grad = True
+        return self
+
+    def requires_grad_(self, flag=True):
+        if flag and not _dt.is_float(self.dtype):
+            raise ValueError("only floating-point tensors can require grad")
+        self.requires_grad = flag
+        return self
+
+    def zero_grad(self):
+        self.grad = None
+        return self
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("tensor does not require grad; backward() is meaningless")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        elif isinstance(grad, Tensor):
+            grad = grad.data
+        else:
+            grad = np.asarray(grad, dtype=self.dtype)
+        grads = {id(self): grad}
+        with no_grad():
+            for node in reversed(topo_order(self)):
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
+                    continue
+                if node._ctx is None or node._retains_grad:
+                    if node.requires_grad:
+                        existing = node.grad
+                        node.grad = node_grad if existing is None else existing + node_grad
+                if node._ctx is None:
+                    continue
+                parent_grads = node._ctx.backward_fn(node_grad)
+                for parent, pgrad in zip(node._ctx.parents, parent_grads):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    acc = grads.get(id(parent))
+                    grads[id(parent)] = pgrad if acc is None else acc + pgrad
+
+    # ------------------------------------------------------------------ #
+    # Dtype / device movement
+    # ------------------------------------------------------------------ #
+
+    def to(self, target):
+        """Move to a device or cast to a dtype (single-argument form)."""
+        try:
+            return self.astype(_dt.as_dtype(target))
+        except (ValueError, TypeError):
+            pass
+        device = as_device(target)
+        out = Tensor._from_op(self.data, (self,), lambda g: (g,), "to", device=device)
+        return out
+
+    def astype(self, dtype):
+        dtype = _dt.as_dtype(dtype)
+        if dtype == self.dtype:
+            return self
+        src_dtype = self.dtype
+
+        def backward(g):
+            return (g.astype(src_dtype),)
+
+        return Tensor._from_op(self.data.astype(dtype), (self,), backward, "astype", self.device)
+
+    def float(self):
+        return self.astype(_dt.float32)
+
+    def half(self):
+        return self.astype(_dt.float16)
+
+    def long(self):
+        return self.astype(_dt.int64)
+
+    def cpu(self):
+        return self.to("cpu")
+
+    def cuda(self):
+        return self.to("cuda")
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other):
+        other = _coerce_operand(other, self)
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return Tensor._from_op(self.data + other.data, (self, other), backward, "add", self.device)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = _coerce_operand(other, self)
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+
+        return Tensor._from_op(self.data - other.data, (self, other), backward, "sub", self.device)
+
+    def __rsub__(self, other):
+        return _coerce_operand(other, self) - self
+
+    def __mul__(self, other):
+        other = _coerce_operand(other, self)
+
+        def backward(g):
+            return (
+                _unbroadcast(g * other.data, self.shape),
+                _unbroadcast(g * self.data, other.shape),
+            )
+
+        return Tensor._from_op(self.data * other.data, (self, other), backward, "mul", self.device)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = _coerce_operand(other, self)
+
+        def backward(g):
+            return (
+                _unbroadcast(g / other.data, self.shape),
+                _unbroadcast(-g * self.data / (other.data**2), other.shape),
+            )
+
+        return Tensor._from_op(self.data / other.data, (self, other), backward, "div", self.device)
+
+    def __rtruediv__(self, other):
+        return _coerce_operand(other, self) / self
+
+    def __neg__(self):
+        return Tensor._from_op(-self.data, (self,), lambda g: (-g,), "neg", self.device)
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            exponent = exponent.item() if exponent.size == 1 else exponent.data
+        data = self.data**exponent
+
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._from_op(data, (self,), backward, "pow", self.device)
+
+    def __matmul__(self, other):
+        other = _coerce_operand(other, self)
+        a, b = self.data, other.data
+
+        def backward(g):
+            if b.ndim == 1:
+                grad_a = np.outer(g, b) if a.ndim == 2 else np.expand_dims(g, -1) * b
+                grad_b = (a * np.expand_dims(g, -1)).sum(axis=tuple(range(a.ndim - 1)))
+                return (grad_a.reshape(a.shape), grad_b.reshape(b.shape))
+            if a.ndim == 1:
+                grad_a = (g[..., None, :] * np.swapaxes(b, -1, -2)).sum(axis=-1)
+                grad_a = _unbroadcast(grad_a, a.shape)
+                grad_b = _unbroadcast(np.expand_dims(a, -1) * np.expand_dims(g, -2), b.shape)
+                return (grad_a, grad_b)
+            grad_a = _unbroadcast(np.matmul(g, np.swapaxes(b, -1, -2)), a.shape)
+            grad_b = _unbroadcast(np.matmul(np.swapaxes(a, -1, -2), g), b.shape)
+            return (grad_a, grad_b)
+
+        return Tensor._from_op(np.matmul(a, b), (self, other), backward, "matmul", self.device)
+
+    def matmul(self, other):
+        return self @ other
+
+    def maximum(self, other):
+        other = _coerce_operand(other, self)
+        data = np.maximum(self.data, other.data)
+
+        def backward(g):
+            take_self = (self.data >= other.data).astype(g.dtype)
+            return (
+                _unbroadcast(g * take_self, self.shape),
+                _unbroadcast(g * (1 - take_self), other.shape),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "maximum", self.device)
+
+    def minimum(self, other):
+        other = _coerce_operand(other, self)
+        data = np.minimum(self.data, other.data)
+
+        def backward(g):
+            take_self = (self.data <= other.data).astype(g.dtype)
+            return (
+                _unbroadcast(g * take_self, self.shape),
+                _unbroadcast(g * (1 - take_self), other.shape),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "minimum", self.device)
+
+    # Comparisons return non-differentiable bool tensors.
+
+    def _compare(self, other, op):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(op(self.data, other), device=self.device)
+
+    def __eq__(self, other):  # noqa: D105 - elementwise, like torch
+        return self._compare(other, np.equal)
+
+    def __ne__(self, other):
+        return self._compare(other, np.not_equal)
+
+    def __lt__(self, other):
+        return self._compare(other, np.less)
+
+    def __le__(self, other):
+        return self._compare(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._compare(other, np.greater)
+
+    def __ge__(self, other):
+        return self._compare(other, np.greater_equal)
+
+    __hash__ = object.__hash__
+
+    # ------------------------------------------------------------------ #
+    # Unary math
+    # ------------------------------------------------------------------ #
+
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(g):
+            return (g * data,)
+
+        return Tensor._from_op(data, (self,), backward, "exp", self.device)
+
+    def log(self):
+        def backward(g):
+            return (g / self.data,)
+
+        return Tensor._from_op(np.log(self.data), (self,), backward, "log", self.device)
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / data,)
+
+        return Tensor._from_op(data, (self,), backward, "sqrt", self.device)
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1 - data**2),)
+
+        return Tensor._from_op(data, (self,), backward, "tanh", self.device)
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            return (g * data * (1 - data),)
+
+        return Tensor._from_op(data, (self,), backward, "sigmoid", self.device)
+
+    def relu(self):
+        data = np.maximum(self.data, 0)
+
+        def backward(g):
+            return (g * (self.data > 0),)
+
+        return Tensor._from_op(data, (self,), backward, "relu", self.device)
+
+    def abs(self):
+        def backward(g):
+            return (g * np.sign(self.data),)
+
+        return Tensor._from_op(np.abs(self.data), (self,), backward, "abs", self.device)
+
+    def clip(self, min_value=None, max_value=None):
+        data = np.clip(self.data, min_value, max_value)
+
+        def backward(g):
+            mask = np.ones_like(self.data, dtype=bool)
+            if min_value is not None:
+                mask &= self.data >= min_value
+            if max_value is not None:
+                mask &= self.data <= max_value
+            return (g * mask,)
+
+        return Tensor._from_op(data, (self,), backward, "clip", self.device)
+
+    clamp = clip
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis=None, keepdims=False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).astype(self.dtype),)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_exp, self.shape).astype(self.dtype),)
+
+        return Tensor._from_op(np.asarray(data), (self,), backward, "sum", self.device)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / count
+
+    def var(self, axis=None, keepdims=False, unbiased=False):
+        mean = self.mean(axis=axis, keepdims=True)
+        sq = (self - mean) ** 2
+        if unbiased:
+            if axis is None:
+                count = self.data.size
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                count = int(np.prod([self.shape[a] for a in axes]))
+            return sq.sum(axis=axis, keepdims=keepdims) / max(count - 1, 1)
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if axis is None:
+                mask = self.data == data
+                return (g * mask / mask.sum(),)
+            full = data if keepdims else np.expand_dims(data, axis)
+            mask = self.data == full
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (g_exp * mask / mask.sum(axis=axis, keepdims=True),)
+
+        return Tensor._from_op(np.asarray(data), (self,), backward, "max", self.device)
+
+    def min(self, axis=None, keepdims=False):
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def argmax(self, axis=None):
+        return Tensor(np.argmax(self.data, axis=axis), device=self.device)
+
+    def argmin(self, axis=None):
+        return Tensor(np.argmin(self.data, axis=axis), device=self.device)
+
+    # ------------------------------------------------------------------ #
+    # Shape ops
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        src_shape = self.shape
+
+        def backward(g):
+            return (g.reshape(src_shape),)
+
+        return Tensor._from_op(self.data.reshape(shape), (self,), backward, "reshape", self.device)
+
+    view = reshape
+
+    def flatten(self, start_dim=0, end_dim=-1):
+        shape = list(self.shape)
+        end = end_dim if end_dim >= 0 else len(shape) + end_dim
+        merged = int(np.prod(shape[start_dim : end + 1])) if shape else 1
+        new_shape = shape[:start_dim] + [merged] + shape[end + 1 :]
+        return self.reshape(*new_shape)
+
+    def squeeze(self, axis=None):
+        def backward(g):
+            return (g.reshape(self.shape),)
+
+        return Tensor._from_op(np.squeeze(self.data, axis=axis), (self,), backward, "squeeze", self.device)
+
+    def unsqueeze(self, axis):
+        def backward(g):
+            return (g.reshape(self.shape),)
+
+        return Tensor._from_op(np.expand_dims(self.data, axis), (self,), backward, "unsqueeze", self.device)
+
+    def transpose(self, dim0, dim1):
+        def backward(g):
+            return (np.swapaxes(g, dim0, dim1),)
+
+        return Tensor._from_op(np.swapaxes(self.data, dim0, dim1), (self,), backward, "transpose", self.device)
+
+    def permute(self, *dims):
+        if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+            dims = tuple(dims[0])
+        inverse = np.argsort(dims)
+
+        def backward(g):
+            return (g.transpose(inverse),)
+
+        return Tensor._from_op(self.data.transpose(dims), (self,), backward, "permute", self.device)
+
+    def broadcast_to(self, shape):
+        src_shape = self.shape
+
+        def backward(g):
+            return (_unbroadcast(g, src_shape),)
+
+        return Tensor._from_op(
+            np.broadcast_to(self.data, shape).copy(), (self,), backward, "broadcast_to", self.device
+        )
+
+    expand = broadcast_to
+
+    def pad2d(self, padding, value=0.0):
+        """Pad the last two (spatial) dims: ``padding=(left, right, top, bottom)``."""
+        left, right, top, bottom = padding
+        widths = [(0, 0)] * (self.ndim - 2) + [(top, bottom), (left, right)]
+        data = np.pad(self.data, widths, constant_values=value)
+        h, w = self.shape[-2], self.shape[-1]
+
+        def backward(g):
+            slicer = (Ellipsis, slice(top, top + h), slice(left, left + w))
+            return (g[slicer],)
+
+        return Tensor._from_op(data, (self,), backward, "pad2d", self.device)
+
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data
+        elif isinstance(index, tuple):
+            index = tuple(i.data if isinstance(i, Tensor) else i for i in index)
+        data = self.data[index]
+
+        def backward(g):
+            out = np.zeros(self.shape, dtype=g.dtype)
+            np.add.at(out, index, g)
+            return (out,)
+
+        # np.asarray, not np.ascontiguousarray: the latter promotes 0-d
+        # results (scalar indexing) to 1-d and breaks gradient shapes.
+        return Tensor._from_op(np.asarray(data), (self,), backward, "getitem", self.device)
+
+    def inject_values(self, index, values):
+        """Return a copy with ``values`` written at ``index`` (straight-through grad).
+
+        This is the differentiable primitive beneath the fault-injection
+        hooks.  ``index`` is any numpy-style index; the gradient of the
+        *original* tensor is the output gradient passed through unchanged
+        (a straight-through estimator).  That exactly mirrors the real
+        PyTorchFI, which mutates the convolution output in place so
+        backprop treats the injected value as if the layer had produced
+        it — the property the Table I FI-during-training experiment
+        relies on.
+        """
+        if isinstance(index, Tensor):
+            index = index.data
+        elif isinstance(index, tuple):
+            index = tuple(i.data if isinstance(i, Tensor) else i for i in index)
+        if isinstance(values, Tensor):
+            values = values.data
+        data = self.data.copy()
+        data[index] = np.asarray(values, dtype=self.dtype)
+
+        def backward(g):
+            return (g,)
+
+        return Tensor._from_op(data, (self,), backward, "inject_values", self.device)
+
+    # ------------------------------------------------------------------ #
+    # Softmax family
+    # ------------------------------------------------------------------ #
+
+    def log_softmax(self, axis=-1):
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        data = shifted - log_z
+        softmax = np.exp(data)
+
+        def backward(g):
+            return (g - softmax * g.sum(axis=axis, keepdims=True),)
+
+        return Tensor._from_op(data, (self,), backward, "log_softmax", self.device)
+
+    def softmax(self, axis=-1):
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            dot = (g * data).sum(axis=axis, keepdims=True)
+            return (data * (g - dot),)
+
+        return Tensor._from_op(data, (self,), backward, "softmax", self.device)
+
+
+# ---------------------------------------------------------------------- #
+# Factories and module-level functions
+# ---------------------------------------------------------------------- #
+
+
+def tensor(data, requires_grad=False, dtype=None, device=None):
+    """Create a tensor (copies the input, like ``torch.tensor``)."""
+    arr = np.array(data.data if isinstance(data, Tensor) else data)
+    return Tensor(arr, requires_grad=requires_grad, dtype=dtype, device=device)
+
+
+def from_numpy(array, requires_grad=False, device=None):
+    """Wrap an ndarray without copying."""
+    return Tensor(array, requires_grad=requires_grad, device=device)
+
+
+def zeros(*shape, dtype=None, requires_grad=False, device=None):
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=_dt.as_dtype(dtype)), requires_grad=requires_grad, device=device)
+
+
+def ones(*shape, dtype=None, requires_grad=False, device=None):
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=_dt.as_dtype(dtype)), requires_grad=requires_grad, device=device)
+
+def full(shape, fill_value, dtype=None, requires_grad=False, device=None):
+    return Tensor(
+        np.full(shape, fill_value, dtype=_dt.as_dtype(dtype)), requires_grad=requires_grad, device=device
+    )
+
+
+def zeros_like(t, dtype=None):
+    return Tensor(np.zeros_like(t.data, dtype=dtype), device=t.device)
+
+
+def ones_like(t, dtype=None):
+    return Tensor(np.ones_like(t.data, dtype=dtype), device=t.device)
+
+
+def arange(*args, dtype=None, device=None):
+    return Tensor(np.arange(*args), dtype=dtype, device=device)
+
+
+def randn(*shape, rng=None, dtype=None, requires_grad=False, device=None):
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    gen = _rng.coerce_generator(rng)
+    data = gen.standard_normal(shape).astype(_dt.as_dtype(dtype))
+    return Tensor(data, requires_grad=requires_grad, device=device)
+
+
+def rand(*shape, rng=None, dtype=None, requires_grad=False, device=None):
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    gen = _rng.coerce_generator(rng)
+    data = gen.random(shape).astype(_dt.as_dtype(dtype))
+    return Tensor(data, requires_grad=requires_grad, device=device)
+
+
+def cat(tensors, axis=0):
+    """Concatenate along ``axis`` with gradient routing to each input."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        return tuple(
+            np.ascontiguousarray(np.take(g, range(offsets[i], offsets[i + 1]), axis=axis))
+            for i in range(len(tensors))
+        )
+
+    return Tensor._from_op(data, tuple(tensors), backward, "cat", tensors[0].device)
+
+
+def stack(tensors, axis=0):
+    """Stack along a new ``axis``."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.ascontiguousarray(np.take(g, i, axis=axis)) for i in range(len(tensors)))
+
+    return Tensor._from_op(data, tuple(tensors), backward, "stack", tensors[0].device)
+
+
+def where(condition, a, b):
+    """Elementwise select; gradients flow to both branches through their mask."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a = a if isinstance(a, Tensor) else Tensor(np.asarray(a))
+    b = b if isinstance(b, Tensor) else Tensor(np.asarray(b))
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        return (
+            _unbroadcast(g * cond, a.shape),
+            _unbroadcast(g * ~cond, b.shape),
+        )
+
+    return Tensor._from_op(data, (a, b), backward, "where", a.device)
+
+
+def maximum(a, b):
+    a = a if isinstance(a, Tensor) else Tensor(np.asarray(a))
+    return a.maximum(b)
+
+
+def minimum(a, b):
+    a = a if isinstance(a, Tensor) else Tensor(np.asarray(a))
+    return a.minimum(b)

@@ -1,0 +1,14 @@
+"""Training loops and the trained-model cache."""
+
+from .cache import cache_dir, get_or_train, load_state, save_state
+from .trainer import TrainResult, evaluate, train_classifier
+
+__all__ = [
+    "TrainResult",
+    "cache_dir",
+    "evaluate",
+    "get_or_train",
+    "load_state",
+    "save_state",
+    "train_classifier",
+]

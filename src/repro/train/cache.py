@@ -1,0 +1,65 @@
+"""On-disk cache of trained model weights.
+
+The Fig. 3/4 studies need many *trained* networks; caching state dicts under
+``.cache/repro-models`` (next to the repo, overridable via the
+``REPRO_CACHE_DIR`` environment variable) makes repeated benchmark runs
+cheap while staying fully deterministic: the cache key includes every input
+that affects the trained weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def cache_dir():
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "repro-models"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _key(spec):
+    blob = json.dumps(spec, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def load_state(spec):
+    """Return the cached state dict for ``spec`` or None."""
+    path = cache_dir() / f"{_key(spec)}.npz"
+    if not path.exists():
+        return None
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_state(spec, state_dict):
+    path = cache_dir() / f"{_key(spec)}.npz"
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **state_dict)
+    os.replace(tmp, path)
+    return path
+
+
+def get_or_train(spec, build_model, train_fn):
+    """Fetch a trained model from cache, training (and caching) on a miss.
+
+    ``build_model()`` must construct the architecture deterministically;
+    ``train_fn(model)`` trains it in place.  Returns ``(model, was_cached)``.
+    """
+    model = build_model()
+    state = load_state(spec)
+    if state is not None:
+        model.load_state_dict(state)
+        return model, True
+    train_fn(model)
+    save_state(spec, model.state_dict())
+    return model, False

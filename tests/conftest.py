@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.data import SyntheticClassification
+from repro.train import train_classifier
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_conv_net():
+    """A small conv net with a deterministic seed (3 convs + linear head)."""
+    gen = np.random.default_rng(7)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.Conv2d(8, 12, 3, stride=2, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.Conv2d(12, 16, 3, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(16 * 8 * 8, 10, rng=gen),
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, easy, deterministic 4-class dataset (16x16)."""
+    return SyntheticClassification(num_classes=4, image_size=16, noise=0.25, seed=99,
+                                   name="tiny")
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model():
+    """A small CNN trained to high accuracy on an easy dataset.
+
+    Session-scoped: several campaign/criteria tests reuse it.  Returns
+    ``(model, dataset, accuracy)``.
+    """
+    dataset = SyntheticClassification(num_classes=4, image_size=16, noise=0.3,
+                                      class_similarity=0.5, seed=123, name="tiny-train")
+    gen = np.random.default_rng(11)
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(8, 16, 3, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(16 * 4 * 4, 4, rng=gen),
+    )
+    result = train_classifier(model, dataset, epochs=5, train_per_class=32,
+                              test_per_class=16, seed=5)
+    model.eval()
+    return model, dataset, result.test_accuracy
+
+
+def numerical_gradient(fn, tensor, eps=1e-3):
+    """Central-difference gradient of scalar ``fn()`` wrt ``tensor.data``."""
+    grad = np.zeros(tensor.data.shape, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn().item()
+        flat[i] = original - eps
+        low = fn().item()
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic, numeric, rtol=2e-2, atol=1e-3):
+    """Compare an autograd gradient against a finite-difference one."""
+    scale = max(float(np.abs(numeric).max()), 1e-6)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol * scale + atol)

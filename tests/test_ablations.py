@@ -1,0 +1,103 @@
+"""Smoke tests for the ablation experiment modules (paper §IV-A extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_criteria,
+    ablation_granularity,
+    ablation_quantization,
+)
+
+
+class TestGranularityAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_granularity.run(scale="smoke", seed=0)
+
+    def test_all_three_granularities(self, results):
+        assert set(results["results"]) == {"neuron", "feature_map", "layer"}
+
+    def test_rate_grows_with_region_size(self, results):
+        rates = results["results"]
+        assert rates["neuron"].rate <= rates["feature_map"].rate + 0.02
+        assert rates["feature_map"].rate <= rates["layer"].rate + 0.05
+
+    def test_layer_level_is_highly_disruptive(self, results):
+        assert results["results"]["layer"].rate > 0.3
+
+    def test_report_renders(self, results):
+        text = ablation_granularity.report(results)
+        assert "granularity" in text
+
+
+class TestQuantizationAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_quantization.run(scale="smoke", seed=0)
+
+    def test_all_regimes_present(self, results):
+        assert [r["regime"] for r in results["rows"]] == ["fp32", "int8", "int6", "int4"]
+
+    def test_int8_most_resilient(self, results):
+        rates = {r["regime"]: r["result"].corruption_rate for r in results["rows"]}
+        assert rates["int8"] <= rates["fp32"] + 0.01
+        assert rates["int8"] <= rates["int4"]
+
+    def test_low_precision_fragile(self, results):
+        rates = {r["regime"]: r["result"].corruption_rate for r in results["rows"]}
+        assert rates["int4"] > rates["int8"]
+
+    def test_report_renders(self, results):
+        text = ablation_quantization.report(results)
+        assert "int8" in text
+
+
+class TestCriteriaAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_criteria.run(scale="smoke", seed=0)
+
+    def test_all_criteria_present(self, results):
+        names = [r["criterion"] for r in results["rows"]]
+        assert names == ["top1", "top1_not_in_top5", "confidence_drop_25"]
+
+    def test_top5_stricter_than_top1(self, results):
+        rates = {r["criterion"]: r["proportion"].rate for r in results["rows"]}
+        assert rates["top1_not_in_top5"] <= rates["top1"] + 1e-9
+
+    def test_same_injections_scored(self, results):
+        trials = {r["proportion"].trials for r in results["rows"]}
+        assert trials == {results["injections"]}
+
+    def test_report_renders(self, results):
+        text = ablation_criteria.report(results)
+        assert "criterion" in text
+
+
+class TestBitPositionAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments import ablation_bit_position
+
+        return ablation_bit_position.run(scale="smoke", seed=0)
+
+    def test_positions_covered(self, results):
+        bits = [r["bit"] for r in results["rows"]]
+        assert 0 in bits and 30 in bits and 31 in bits
+
+    def test_high_exponent_dominates(self, results):
+        rates = {r["bit"]: r["result"].corruption_rate for r in results["rows"]}
+        assert rates[30] > rates[0]
+        assert rates[30] > rates[22]
+        assert rates[30] >= rates[31]
+
+    def test_mantissa_mostly_masked(self, results):
+        rates = {r["bit"]: r["result"].corruption_rate for r in results["rows"]}
+        assert rates[0] < 0.05
+
+    def test_report_renders(self, results):
+        from repro.experiments import ablation_bit_position
+
+        text = ablation_bit_position.report(results)
+        assert "exponent" in text

@@ -1,0 +1,92 @@
+"""Tests for the FGSM/PGD adversarial attacks."""
+
+import numpy as np
+import pytest
+
+from repro.robust import AttackResult, evaluate_attack, fgsm, pgd
+
+
+class TestFGSM:
+    def test_perturbation_within_ball(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(8, rng=rng)
+        adversarial = fgsm(model, images, labels, eps=0.1)
+        assert np.abs(adversarial - images).max() <= 0.1 + 1e-6
+
+    def test_zero_eps_is_identity(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(4, rng=rng)
+        adversarial = fgsm(model, images, labels, eps=0.0)
+        np.testing.assert_allclose(adversarial, images, atol=1e-6)
+
+    def test_negative_eps_rejected(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(2, rng=rng)
+        with pytest.raises(ValueError, match="eps"):
+            fgsm(model, images, labels, eps=-0.1)
+
+    def test_attack_degrades_accuracy(self, trained_tiny_model):
+        model, dataset, accuracy = trained_tiny_model
+        images, labels = dataset.sample(48, rng=0)
+        result = evaluate_attack(model, images, labels, eps=1.0, attack="fgsm")
+        assert result.adversarial_accuracy <= result.clean_accuracy
+        assert result.success_rate >= 0.0
+
+    def test_model_mode_restored(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        model.eval()
+        images, labels = dataset.sample(2, rng=rng)
+        fgsm(model, images, labels, eps=0.05)
+        assert not model.training
+
+
+class TestPGD:
+    def test_stays_within_ball(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(4, rng=rng)
+        adversarial = pgd(model, images, labels, eps=0.1, steps=3)
+        assert np.abs(adversarial - images).max() <= 0.1 + 1e-5
+
+    def test_random_start_within_ball(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(2, rng=1)
+        adversarial = pgd(model, images, labels, eps=0.05, steps=2,
+                          rng=np.random.default_rng(0))
+        assert np.abs(adversarial - images).max() <= 0.05 + 1e-5
+
+    def test_pgd_at_least_as_strong_as_fgsm(self, trained_tiny_model):
+        """On average PGD (multi-step) should not be weaker than FGSM."""
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(64, rng=2)
+        fgsm_result = evaluate_attack(model, images, labels, eps=0.5, attack="fgsm")
+        pgd_result = evaluate_attack(model, images, labels, eps=0.5, attack="pgd",
+                                     steps=5)
+        assert pgd_result.adversarial_accuracy <= fgsm_result.adversarial_accuracy + 0.1
+
+    def test_invalid_steps(self, trained_tiny_model, rng):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(2, rng=rng)
+        with pytest.raises(ValueError, match="steps"):
+            pgd(model, images, labels, eps=0.1, steps=0)
+
+
+class TestEvaluateAttack:
+    def test_result_fields(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(16, rng=3)
+        result = evaluate_attack(model, images, labels, eps=0.2)
+        assert isinstance(result, AttackResult)
+        assert 0 <= result.clean_accuracy <= 1
+        assert 0 <= result.adversarial_accuracy <= 1
+        assert result.attack == "fgsm"
+
+    def test_unknown_attack(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        images, labels = dataset.sample(2, rng=4)
+        with pytest.raises(ValueError, match="unknown attack"):
+            evaluate_attack(model, images, labels, eps=0.1, attack="cw")
+
+    def test_success_rate_zero_when_clean_zero(self):
+        result = AttackResult(clean_accuracy=0.0, adversarial_accuracy=0.0,
+                              eps=0.1, attack="fgsm")
+        assert result.success_rate == 0.0

@@ -1,0 +1,127 @@
+"""Bit-manipulation tests, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitflip
+
+
+class TestFloatBits:
+    def test_known_pattern_one(self):
+        # 1.0f = sign 0, exponent 127, mantissa 0.
+        assert bitflip.bit_string(1.0, np.float32) == "0" + "01111111" + "0" * 23
+
+    def test_sign_exponent_mantissa(self):
+        sign, exponent, mantissa = bitflip.sign_exponent_mantissa(-1.5)
+        assert sign == 1
+        assert exponent == 127
+        assert mantissa == 1 << 22
+
+    def test_roundtrip_bits(self):
+        values = np.array([0.0, 1.0, -2.5, 3.14], dtype=np.float32)
+        bits = bitflip.float_to_bits(values)
+        back = bitflip.bits_to_float(bits, np.float32)
+        np.testing.assert_array_equal(values, back)
+
+    def test_sign_bit_flip_negates(self):
+        values = np.array([1.5, -2.0, 100.0], dtype=np.float32)
+        flipped = bitflip.flip_bits(values, 31)
+        np.testing.assert_array_equal(flipped, -values)
+
+    def test_input_not_modified(self):
+        values = np.array([1.0], dtype=np.float32)
+        bitflip.flip_bits(values, 5)
+        assert values[0] == 1.0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bitflip.flip_bits(np.array([1.0], dtype=np.float32), 32)
+        with pytest.raises(ValueError, match="out of range"):
+            bitflip.flip_bits(np.array([1.0], dtype=np.float32), -1)
+
+    def test_per_element_bits(self):
+        values = np.array([1.0, 1.0], dtype=np.float32)
+        flipped = bitflip.flip_bits(values, np.array([31, 0]))
+        assert flipped[0] == -1.0
+        assert flipped[1] != 1.0 and abs(flipped[1] - 1.0) < 1e-6
+
+    def test_float16_flip(self):
+        values = np.array([1.0], dtype=np.float16)
+        flipped = bitflip.flip_bits(values, 15)
+        assert flipped[0] == -1.0
+
+
+class TestIntBits:
+    def test_int8_msb_flip(self):
+        values = np.array([10], dtype=np.int8)
+        flipped = bitflip.flip_bits(values, 7)
+        assert flipped[0] == 10 - 128
+
+    def test_int8_lsb_flip(self):
+        values = np.array([10], dtype=np.int8)
+        assert bitflip.flip_bits(values, 0)[0] == 11
+
+    def test_uint8(self):
+        values = np.array([0], dtype=np.uint8)
+        assert bitflip.flip_bits(values, 7)[0] == 128
+
+
+finite32 = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@given(finite32, st.integers(min_value=0, max_value=31))
+def test_double_flip_is_identity(value, bit):
+    arr = np.array([value], dtype=np.float32)
+    twice = bitflip.flip_bits(bitflip.flip_bits(arr, bit), bit)
+    np.testing.assert_array_equal(arr, twice)
+
+
+@given(finite32, st.integers(min_value=0, max_value=31))
+def test_single_flip_changes_bits(value, bit):
+    arr = np.array([value], dtype=np.float32)
+    flipped = bitflip.flip_bits(arr, bit)
+    assert bitflip.float_to_bits(flipped)[0] != bitflip.float_to_bits(arr)[0]
+
+
+@given(st.integers(min_value=-128, max_value=127), st.integers(min_value=0, max_value=7))
+def test_int8_double_flip_identity(value, bit):
+    arr = np.array([value], dtype=np.int8)
+    twice = bitflip.flip_bits(bitflip.flip_bits(arr, bit), bit)
+    assert twice[0] == value
+
+
+@given(st.lists(finite32, min_size=1, max_size=20))
+def test_random_flip_changes_every_element_bitpattern(values):
+    rng = np.random.default_rng(0)
+    arr = np.array(values, dtype=np.float32)
+    flipped = bitflip.flip_random_bits(arr, rng)
+    assert (bitflip.float_to_bits(flipped) != bitflip.float_to_bits(arr)).all()
+
+
+@given(st.lists(finite32, min_size=1, max_size=20))
+def test_exclude_sign_preserves_sign_bit(values):
+    rng = np.random.default_rng(0)
+    arr = np.array(values, dtype=np.float32)
+    flipped = bitflip.flip_random_bits(arr, rng, exclude_sign=True)
+    sign_before = bitflip.float_to_bits(arr) >> 31
+    sign_after = bitflip.float_to_bits(flipped) >> 31
+    np.testing.assert_array_equal(sign_before, sign_after)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=16),
+       st.integers(min_value=0, max_value=15))
+def test_fp16_double_flip_identity(value, bit):
+    arr = np.array([value], dtype=np.float16)
+    twice = bitflip.flip_bits(bitflip.flip_bits(arr, bit), bit)
+    np.testing.assert_array_equal(arr, twice)
+
+
+@given(st.integers(min_value=-128, max_value=127))
+def test_int8_flip_all_bits_is_complement(value):
+    """Flipping every bit of a two's-complement int8 yields ~value."""
+    arr = np.array([value], dtype=np.int8)
+    for bit in range(8):
+        arr = bitflip.flip_bits(arr, bit)
+    assert arr[0] == ~np.int8(value)

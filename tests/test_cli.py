@@ -1,0 +1,55 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.experiment == "fig3"
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_profile_args(self):
+        args = build_parser().parse_args(
+            ["profile", "alexnet", "--dataset", "imagenet", "--scale", "smoke"])
+        assert args.model == "alexnet"
+        assert args.dataset == "imagenet"
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "tiny_yolov3" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+                     "ablation_granularity"):
+            assert name in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_model(self, capsys):
+        assert main(["profile", "alexnet", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Conv2d" in out and "total neurons" in out
+
+    def test_inject_model(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "bit flip" in out and "Top-1" in out
+
+    def test_run_fig3_smoke(self, capsys):
+        assert main(["run", "fig3", "--scale", "smoke"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out

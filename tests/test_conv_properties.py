@@ -1,0 +1,86 @@
+"""Hypothesis property tests on the convolution kernel (vs naive reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+from .test_nn_functional import naive_conv2d
+
+
+@st.composite
+def conv_configs(draw):
+    groups = draw(st.sampled_from((1, 2)))
+    c_per_group = draw(st.integers(min_value=1, max_value=3))
+    oc_per_group = draw(st.integers(min_value=1, max_value=3))
+    kernel = draw(st.sampled_from((1, 2, 3)))
+    stride = draw(st.sampled_from((1, 2)))
+    padding = draw(st.integers(min_value=0, max_value=2))
+    size = draw(st.integers(min_value=kernel, max_value=8))
+    batch = draw(st.integers(min_value=1, max_value=2))
+    return dict(groups=groups, c=c_per_group * groups, oc=oc_per_group * groups,
+                kernel=kernel, stride=stride, padding=padding, size=size, batch=batch)
+
+
+@given(conv_configs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_conv_matches_naive_reference(config, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(
+        (config["batch"], config["c"], config["size"], config["size"])
+    ).astype(np.float32)
+    w = rng.standard_normal(
+        (config["oc"], config["c"] // config["groups"], config["kernel"], config["kernel"])
+    ).astype(np.float32)
+    b = rng.standard_normal(config["oc"]).astype(np.float32)
+    out = F.conv2d(Tensor(x), Tensor(w), Tensor(b),
+                   stride=config["stride"], padding=config["padding"],
+                   groups=config["groups"])
+    expected = naive_conv2d(x, w, b, (config["stride"],) * 2,
+                            (config["padding"],) * 2, config["groups"])
+    np.testing.assert_allclose(out.data, expected, rtol=1e-3, atol=1e-4)
+
+
+@given(conv_configs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_conv_gradient_shapes(config, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal(
+        (config["batch"], config["c"], config["size"], config["size"])
+    ).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.standard_normal(
+        (config["oc"], config["c"] // config["groups"], config["kernel"], config["kernel"])
+    ).astype(np.float32), requires_grad=True)
+    out = F.conv2d(x, w, None, stride=config["stride"], padding=config["padding"],
+                   groups=config["groups"])
+    out.sum().backward()
+    assert x.grad.shape == x.shape
+    assert w.grad.shape == w.shape
+    assert np.isfinite(x.grad).all() and np.isfinite(w.grad).all()
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_pool_unpool_energy_conservation(channels, kernel, seed):
+    """Average pooling preserves the total sum (with matching stride)."""
+    rng = np.random.default_rng(seed)
+    size = kernel * 3
+    x = rng.standard_normal((1, channels, size, size)).astype(np.float32)
+    pooled = F.avg_pool2d(Tensor(x), kernel, kernel)
+    np.testing.assert_allclose(
+        pooled.data.sum() * kernel * kernel, x.sum(), rtol=1e-3, atol=1e-3
+    )
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_max_pool_dominates_avg_pool(size, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 2, size * 2, size * 2)).astype(np.float32)
+    max_out = F.max_pool2d(Tensor(x), 2, 2).data
+    avg_out = F.avg_pool2d(Tensor(x), 2, 2).data
+    assert (max_out >= avg_out - 1e-6).all()

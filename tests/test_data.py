@@ -1,0 +1,192 @@
+"""Tests for the synthetic datasets and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CLASS_NAMES,
+    DataLoader,
+    SyntheticClassification,
+    SyntheticDetection,
+    make_dataset,
+)
+
+
+class TestClassificationDataset:
+    def test_deterministic_prototypes(self):
+        a = SyntheticClassification(4, 16, seed=5)
+        b = SyntheticClassification(4, 16, seed=5)
+        np.testing.assert_array_equal(a.prototypes, b.prototypes)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticClassification(4, 16, seed=5)
+        b = SyntheticClassification(4, 16, seed=6)
+        assert not np.allclose(a.prototypes, b.prototypes)
+
+    def test_sample_shapes_and_dtypes(self):
+        ds = SyntheticClassification(4, 16, seed=0)
+        images, labels = ds.sample(10, rng=1)
+        assert images.shape == (10, 3, 16, 16)
+        assert images.dtype == np.float32
+        assert labels.shape == (10,)
+        assert labels.dtype == np.int64
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_sample_deterministic_given_rng(self):
+        ds = SyntheticClassification(4, 16, seed=0)
+        a = ds.sample(8, rng=3)
+        b = ds.sample(8, rng=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_explicit_labels(self):
+        ds = SyntheticClassification(4, 16, seed=0)
+        labels = np.array([0, 1, 2, 3])
+        _, out_labels = ds.sample(4, rng=0, labels=labels)
+        np.testing.assert_array_equal(out_labels, labels)
+        with pytest.raises(ValueError, match="labels"):
+            ds.sample(3, rng=0, labels=labels)
+
+    def test_balanced_split_is_balanced(self):
+        ds = SyntheticClassification(5, 16, seed=0)
+        _, labels = ds.balanced_split(7, rng=2)
+        counts = np.bincount(labels, minlength=5)
+        np.testing.assert_array_equal(counts, np.full(5, 7))
+
+    def test_noise_increases_sample_spread(self):
+        quiet = SyntheticClassification(2, 16, seed=0, noise=0.01, max_shift=0)
+        loud = SyntheticClassification(2, 16, seed=0, noise=1.0, max_shift=0)
+        labels = np.zeros(8, dtype=np.int64)
+        quiet_images, _ = quiet.sample(8, rng=1, labels=labels)
+        loud_images, _ = loud.sample(8, rng=1, labels=labels)
+        quiet_dev = np.abs(quiet_images - quiet.prototypes[0]).mean()
+        loud_dev = np.abs(loud_images - loud.prototypes[0]).mean()
+        assert loud_dev > quiet_dev * 5
+
+    def test_class_similarity_shrinks_between_class_distance(self):
+        far = SyntheticClassification(4, 16, seed=0, class_similarity=0.0)
+        near = SyntheticClassification(4, 16, seed=0, class_similarity=0.9)
+
+        def mean_pairwise(ds):
+            protos = ds.prototypes.reshape(4, -1)
+            dists = [
+                np.linalg.norm(protos[i] - protos[j])
+                for i in range(4) for j in range(i + 1, 4)
+            ]
+            return np.mean(dists)
+
+        assert mean_pairwise(near) < mean_pairwise(far) * 0.6
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError, match="class_similarity"):
+            SyntheticClassification(2, 8, class_similarity=1.0)
+
+    def test_make_dataset_presets(self):
+        for name, classes, size in (("cifar10", 10, 32), ("cifar100", 100, 32),
+                                    ("imagenet", 20, 64)):
+            ds = make_dataset(name, seed=0)
+            assert ds.num_classes == classes
+            assert ds.image_size == size
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("svhn")
+
+    def test_make_dataset_overrides(self):
+        ds = make_dataset("cifar10", noise=0.9, class_similarity=0.1)
+        assert ds.noise == 0.9
+        assert ds.class_similarity == 0.1
+
+
+class TestDetectionDataset:
+    def test_scene_geometry(self):
+        ds = SyntheticDetection(image_size=64, seed=0)
+        scene = ds.sample_scene(rng=1)
+        assert scene.image.shape == (3, 64, 64)
+        assert scene.boxes.shape[1] == 4
+        assert len(scene.boxes) == len(scene.labels)
+        assert len(scene.boxes) >= 1
+
+    def test_boxes_inside_image(self):
+        ds = SyntheticDetection(image_size=64, seed=0)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            scene = ds.sample_scene(rng=rng)
+            assert (scene.boxes[:, 0] >= 0).all() and (scene.boxes[:, 1] >= 0).all()
+            assert (scene.boxes[:, 2] <= 64).all() and (scene.boxes[:, 3] <= 64).all()
+            assert (scene.boxes[:, 2] > scene.boxes[:, 0]).all()
+            assert (scene.boxes[:, 3] > scene.boxes[:, 1]).all()
+
+    def test_labels_in_class_range(self):
+        ds = SyntheticDetection(image_size=64, num_classes=5, seed=0)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            scene = ds.sample_scene(rng=rng)
+            assert (scene.labels < 5).all()
+
+    def test_object_count_bounds(self):
+        ds = SyntheticDetection(image_size=64, min_objects=2, max_objects=3, seed=0)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            scene = ds.sample_scene(rng=rng)
+            assert 2 <= len(scene.boxes) <= 3
+
+    def test_shapes_actually_drawn(self):
+        ds = SyntheticDetection(image_size=64, background_noise=0.0, seed=0)
+        scene = ds.sample_scene(rng=5)
+        x1, y1, x2, y2 = scene.boxes[0].astype(int)
+        inside = np.abs(scene.image[:, y1:y2, x1:x2]).mean()
+        assert inside > 0.1
+
+    def test_too_many_classes(self):
+        with pytest.raises(ValueError, match="shape classes"):
+            SyntheticDetection(num_classes=99)
+
+    def test_batch_sampling(self):
+        ds = SyntheticDetection(image_size=64, seed=0)
+        images, boxes, labels = ds.sample_batch(5, rng=6)
+        assert images.shape == (5, 3, 64, 64)
+        assert len(boxes) == 5 and len(labels) == 5
+
+    def test_class_names(self):
+        ds = SyntheticDetection(num_classes=4)
+        assert ds.class_names == CLASS_NAMES[:4]
+
+
+class TestDataLoader:
+    def test_batches_and_drop_last(self):
+        images = np.zeros((10, 3, 4, 4), dtype=np.float32)
+        labels = np.arange(10)
+        loader = DataLoader(images, labels, batch_size=4)
+        batches = list(loader)
+        assert len(loader) == 2
+        assert len(batches) == 2
+        assert batches[0][0].shape == (4, 3, 4, 4)
+
+    def test_keep_last(self):
+        loader = DataLoader(np.zeros((10, 2)), np.arange(10), batch_size=4,
+                            drop_last=False)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[-1][0].shape[0] == 2
+
+    def test_shuffle_determinism(self):
+        images = np.arange(20, dtype=np.float32).reshape(20, 1)
+        a = DataLoader(images, np.arange(20), batch_size=5, shuffle=True, rng=7)
+        b = DataLoader(images, np.arange(20), batch_size=5, shuffle=True, rng=7)
+        for (xa, ya), (xb, yb) in zip(a, b):
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_shuffle_changes_order(self):
+        labels = np.arange(64)
+        loader = DataLoader(np.zeros((64, 1)), labels, batch_size=64, shuffle=True, rng=8)
+        (_, out), = list(loader)
+        assert not np.array_equal(out, labels)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="disagree"):
+            DataLoader(np.zeros((5, 2)), np.arange(4))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DataLoader(np.zeros((5, 2)), np.arange(5), batch_size=0)

@@ -1,0 +1,253 @@
+"""Detection substrate tests: boxes, NMS, decode, targets, loss, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import models
+from repro import tensor as T
+from repro.data import SyntheticDetection
+from repro.detection import (
+    DetectionDiff,
+    Detections,
+    box_area,
+    build_targets,
+    decode,
+    detection_f1,
+    iou_matrix,
+    match_detections,
+    nms,
+    xywh_to_xyxy,
+    xyxy_to_xywh,
+    yolo_loss,
+)
+
+
+def boxes_strategy(n=4):
+    coord = st.floats(min_value=0, max_value=50, allow_nan=False, width=32)
+    side = st.floats(min_value=1, max_value=20, allow_nan=False, width=32)
+
+    @st.composite
+    def make(draw):
+        out = []
+        for _ in range(draw(st.integers(min_value=1, max_value=n))):
+            x, y = draw(coord), draw(coord)
+            w, h = draw(side), draw(side)
+            out.append((x, y, x + w, y + h))
+        return np.asarray(out, dtype=np.float32)
+
+    return make()
+
+
+class TestBoxOps:
+    def test_format_roundtrip(self):
+        boxes = np.array([[10, 20, 30, 60]], dtype=np.float32)
+        np.testing.assert_allclose(xywh_to_xyxy(xyxy_to_xywh(boxes)), boxes, rtol=1e-5)
+
+    def test_area(self):
+        assert box_area(np.array([0, 0, 2, 3], dtype=np.float32)) == 6.0
+        # Degenerate boxes have zero, not negative, area.
+        assert box_area(np.array([5, 5, 2, 3], dtype=np.float32)) == 0.0
+
+    def test_identical_boxes_iou_one(self):
+        box = np.array([[0, 0, 10, 10]], dtype=np.float32)
+        assert iou_matrix(box, box)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_boxes_iou_zero(self):
+        a = np.array([[0, 0, 10, 10]], dtype=np.float32)
+        b = np.array([[20, 20, 30, 30]], dtype=np.float32)
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]], dtype=np.float32)
+        b = np.array([[5, 0, 15, 10]], dtype=np.float32)
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(50 / 150)
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 4), dtype=np.float32)
+        box = np.array([[0, 0, 1, 1]], dtype=np.float32)
+        assert iou_matrix(empty, box).shape == (0, 1)
+        assert iou_matrix(box, empty).shape == (1, 0)
+
+    @given(boxes_strategy())
+    @settings(max_examples=50)
+    def test_iou_matrix_symmetric_and_bounded(self, boxes):
+        matrix = iou_matrix(boxes, boxes)
+        np.testing.assert_allclose(matrix, matrix.T, rtol=1e-5)
+        assert (matrix >= 0).all() and (matrix <= 1 + 1e-6).all()
+        np.testing.assert_allclose(np.diag(matrix), np.ones(len(boxes)), rtol=1e-5)
+
+
+class TestNMS:
+    def test_suppresses_overlapping(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [30, 30, 40, 40]],
+                         dtype=np.float32)
+        scores = np.array([0.9, 0.8, 0.7], dtype=np.float32)
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [0, 2]
+
+    def test_keeps_everything_below_threshold(self):
+        boxes = np.array([[0, 0, 10, 10], [20, 0, 30, 10]], dtype=np.float32)
+        keep = nms(boxes, np.array([0.5, 0.9], dtype=np.float32))
+        assert sorted(keep) == [0, 1]
+
+    def test_keeps_highest_score_first(self):
+        boxes = np.array([[0, 0, 10, 10], [0, 0, 10, 10]], dtype=np.float32)
+        keep = nms(boxes, np.array([0.1, 0.9], dtype=np.float32))
+        assert list(keep) == [1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            nms(np.zeros((2, 4)), np.zeros(3))
+
+    @given(boxes_strategy(n=6))
+    @settings(max_examples=50)
+    def test_kept_boxes_mutually_below_threshold(self, boxes):
+        scores = np.linspace(1, 0.1, len(boxes)).astype(np.float32)
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        kept = boxes[keep]
+        matrix = iou_matrix(kept, kept)
+        off_diag = matrix - np.diag(np.diag(matrix))
+        assert (off_diag <= 0.5 + 1e-5).all()
+
+
+@pytest.fixture(scope="module")
+def yolo():
+    net = models.tiny_yolov3(num_classes=8, width_mult=0.125, image_size=64,
+                             rng=np.random.default_rng(0))
+    net.anchors = (((20, 20), (34, 42), (56, 56)), ((6, 6), (10, 10), (14, 18)))
+    net.eval()
+    return net
+
+
+class TestDecode:
+    def test_decode_shapes(self, yolo):
+        outs = yolo(T.randn(2, 3, 64, 64, rng=1))
+        dets = decode(outs, yolo, conf_threshold=0.0)
+        assert len(dets) == 2
+        for det in dets:
+            assert det.boxes.shape[1] == 4
+            assert len(det.scores) == len(det.labels) == len(det.boxes)
+
+    def test_boxes_clipped_to_image(self, yolo):
+        outs = yolo(T.randn(1, 3, 64, 64, rng=2))
+        dets = decode(outs, yolo, conf_threshold=0.0)
+        boxes = dets[0].boxes
+        assert (boxes >= 0).all() and (boxes <= 64).all()
+
+    def test_high_threshold_gives_empty(self, yolo):
+        outs = yolo(T.randn(1, 3, 64, 64, rng=3))
+        dets = decode(outs, yolo, conf_threshold=0.9999)
+        assert len(dets[0]) == 0
+
+    def test_channel_mismatch_raises(self, yolo):
+        from repro.detection import decode_head
+
+        bad = np.zeros((1, 7, 2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="head channels"):
+            decode_head(bad, yolo.anchors[0], 32, yolo.num_classes, 64)
+
+
+class TestTargetsAndLoss:
+    def test_targets_assign_each_gt_once(self, yolo):
+        gt_boxes = [np.array([[10, 10, 25, 25], [40, 40, 60, 60]], dtype=np.float32)]
+        gt_labels = [np.array([1, 3])]
+        targets = build_targets(gt_boxes, gt_labels, yolo, [(2, 2), (4, 4)])
+        total_positives = sum(len(t[0][0]) for t in targets)
+        assert total_positives == 2
+        total_obj = sum(t[4].sum() for t in targets)
+        assert total_obj == 2.0
+
+    def test_small_boxes_go_to_fine_head(self, yolo):
+        gt_boxes = [np.array([[10, 10, 17, 17]], dtype=np.float32)]  # 7x7 box
+        gt_labels = [np.array([0])]
+        targets = build_targets(gt_boxes, gt_labels, yolo, [(2, 2), (4, 4)])
+        assert len(targets[0][0][0]) == 0  # not on the stride-32 head
+        assert len(targets[1][0][0]) == 1  # on the stride-16 head
+
+    def test_xy_offsets_within_cell(self, yolo):
+        gt_boxes = [np.array([[10, 10, 30, 30]], dtype=np.float32)]
+        gt_labels = [np.array([2])]
+        targets = build_targets(gt_boxes, gt_labels, yolo, [(2, 2), (4, 4)])
+        for _, txy, _, _, _ in targets:
+            if len(txy):
+                assert (txy >= 0).all() and (txy <= 1).all()
+
+    def test_loss_is_finite_scalar(self, yolo):
+        ds = SyntheticDetection(image_size=64, seed=0)
+        images, boxes, labels = ds.sample_batch(2, rng=1)
+        outs = yolo(T.Tensor(images))
+        loss = yolo_loss(outs, boxes, labels, yolo)
+        assert loss.shape == ()
+        assert np.isfinite(loss.item())
+
+    def test_loss_decreases_under_training(self, yolo):
+        from repro import optim
+
+        net = models.tiny_yolov3(num_classes=8, width_mult=0.125, image_size=64,
+                                 rng=np.random.default_rng(5))
+        net.anchors = yolo.anchors
+        ds = SyntheticDetection(image_size=64, seed=3)
+        images, boxes, labels = ds.sample_batch(4, rng=2)
+        x = T.Tensor(images)
+        opt = optim.Adam(net.parameters(), lr=2e-3)
+        losses = []
+        for _ in range(8):
+            opt.zero_grad()
+            loss = yolo_loss(net(x), boxes, labels, net)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_empty_scene_loss(self, yolo):
+        outs = yolo(T.randn(1, 3, 64, 64, rng=4))
+        loss = yolo_loss(outs, [np.zeros((0, 4), dtype=np.float32)],
+                         [np.zeros(0, dtype=np.int64)], yolo)
+        assert np.isfinite(loss.item())
+
+
+class TestMatching:
+    def _dets(self, boxes, labels):
+        boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+        return Detections(boxes=boxes, scores=np.ones(len(boxes), dtype=np.float32),
+                          labels=np.asarray(labels, dtype=np.int64))
+
+    def test_identical_sets_fully_matched(self):
+        det = self._dets([[0, 0, 10, 10], [20, 20, 30, 30]], [1, 2])
+        diff = match_detections(det, det)
+        assert diff.matched == 2
+        assert not diff.corrupted
+
+    def test_phantom_detection(self):
+        clean = self._dets([[0, 0, 10, 10]], [0])
+        pert = self._dets([[0, 0, 10, 10], [40, 40, 50, 50]], [0, 3])
+        diff = match_detections(clean, pert)
+        assert diff.phantom == 1
+        assert diff.corrupted
+
+    def test_missed_detection(self):
+        clean = self._dets([[0, 0, 10, 10], [20, 20, 30, 30]], [0, 1])
+        pert = self._dets([[0, 0, 10, 10]], [0])
+        diff = match_detections(clean, pert)
+        assert diff.missed == 1
+
+    def test_misclassified_detection(self):
+        clean = self._dets([[0, 0, 10, 10]], [0])
+        pert = self._dets([[0, 0, 10, 10]], [5])
+        diff = match_detections(clean, pert)
+        assert diff.misclassified == 1
+        assert diff.matched == 0
+
+    def test_both_empty_not_corrupted(self):
+        diff = match_detections(Detections.empty(), Detections.empty())
+        assert not diff.corrupted
+
+    def test_f1_perfect(self):
+        det = self._dets([[0, 0, 10, 10]], [0])
+        assert detection_f1(det.boxes, det.labels, det) == pytest.approx(1.0)
+
+    def test_f1_zero_when_nothing_detected(self):
+        assert detection_f1(np.array([[0, 0, 10, 10]], dtype=np.float32),
+                            np.array([0]), Detections.empty()) == 0.0

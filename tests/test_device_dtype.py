@@ -1,0 +1,126 @@
+"""Device and dtype plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import CPU, CUDA, Device, Tensor, as_device
+from repro.tensor import dtypes as dt
+
+
+class TestDevice:
+    def test_parse_plain(self):
+        assert Device("cpu").type == "cpu"
+        assert Device("cuda").type == "cuda"
+
+    def test_parse_with_index(self):
+        d = Device("cuda:1")
+        assert d.type == "cuda" and d.index == 1
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            Device("tpu")
+        with pytest.raises(ValueError, match="invalid device index"):
+            Device("cuda:x")
+        with pytest.raises(ValueError, match="non-negative"):
+            Device("cuda", index=-1)
+        with pytest.raises(ValueError, match="both"):
+            Device("cuda:0", index=1)
+        with pytest.raises(TypeError):
+            Device(3)
+
+    def test_equality_with_strings(self):
+        assert Device("cuda") == "cuda"
+        assert Device("cuda:0") == Device("cuda")
+        assert Device("cpu") != Device("cuda")
+
+    def test_hash_consistency(self):
+        assert hash(Device("cuda:0")) == hash(Device("cuda", index=0))
+
+    def test_simulated_flag(self):
+        assert Device("cuda").is_simulated
+        assert not Device("cpu").is_simulated
+
+    def test_str_and_repr(self):
+        assert str(Device("cuda:2")) == "cuda:2"
+        assert "cpu" in repr(Device("cpu"))
+
+    def test_as_device(self):
+        assert as_device(None) is CPU
+        assert as_device("cuda") == CUDA
+        d = Device("cuda")
+        assert as_device(d) is d
+
+    def test_copy_constructor(self):
+        d = Device(Device("cuda:1"))
+        assert d.index == 1
+
+
+class TestDtypes:
+    def test_aliases(self):
+        assert dt.as_dtype("fp16") == np.float16
+        assert dt.as_dtype("float") == np.float32
+        assert dt.as_dtype("long") == np.int64
+        assert dt.as_dtype(None) == np.float32
+
+    def test_unknown_alias(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            dt.as_dtype("float8")
+
+    def test_numpy_dtype_passthrough(self):
+        assert dt.as_dtype(np.int8) == np.int8
+
+    def test_is_float(self):
+        assert dt.is_float(np.float16)
+        assert dt.is_float(np.float32)
+        assert not dt.is_float(np.int8)
+
+    def test_bit_width(self):
+        assert dt.bit_width(np.float32) == 32
+        assert dt.bit_width(np.float16) == 16
+        assert dt.bit_width(np.int8) == 8
+        with pytest.raises(ValueError, match="bit width"):
+            dt.bit_width(np.complex64)
+
+
+class TestDevicePropagation:
+    def test_op_result_inherits_device(self):
+        a = Tensor(np.ones(3), device="cuda")
+        b = Tensor(np.ones(3), device="cuda")
+        assert (a + b).device.type == "cuda"
+        assert (a * 2).device.type == "cuda"
+        assert a.relu().device.type == "cuda"
+
+    def test_to_preserves_graph(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        moved = a.cuda()
+        moved.sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(3))
+
+    def test_fp16_forward_pass(self):
+        from repro import nn
+        from repro import tensor as T
+
+        gen = np.random.default_rng(0)
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+                            nn.Flatten(), nn.Linear(4 * 8 * 8, 2, rng=gen))
+        net.half()
+        x = T.randn(1, 3, 8, 8, rng=1).half()
+        out = net(x)
+        assert out.dtype == np.float16
+
+    def test_fp16_fault_injection(self):
+        """The FP16 model-dtype path from paper §III-B step 2."""
+        from repro import nn
+        from repro.core import FaultInjection, SingleBitFlip, random_neuron_injection
+        from repro import tensor as T
+
+        gen = np.random.default_rng(2)
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+                            nn.Flatten(), nn.Linear(4 * 8 * 8, 2, rng=gen))
+        net.half()
+        fi = FaultInjection(net, batch_size=1, input_shape=(3, 8, 8), rng=0,
+                            dtype="float16")
+        assert fi.layers[0].dtype == "float16"
+        model, _ = random_neuron_injection(fi, SingleBitFlip())
+        out = model(T.randn(1, 3, 8, 8, rng=3).half())
+        assert out.dtype == np.float16

@@ -1,0 +1,140 @@
+"""Edge-case coverage across packages (final hardening pass)."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro import tensor as T
+from repro.core import FaultInjection, StuckAt
+from repro.core.granularity import FeatureMapSite, instrument_regions
+from repro.tensor import Tensor
+
+
+class TestFaultInjectionEdgeCases:
+    def test_instrument_rejects_layer_count_drift(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16))
+        sites = fi.make_neuron_sites(layer_num=0, dim1=0, dim2=0, dim3=0, value=1.0)
+        # Mutate the model so the instrumentable layer count changes.
+        tiny_conv_net.add_module("extra", nn.Conv2d(3, 3, 1))
+        with pytest.raises(RuntimeError, match="layer count changed"):
+            fi.instrument(neuron_sites=sites, clone=False)
+        del tiny_conv_net.extra
+
+    def test_region_instrument_rejects_layer_count_drift(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16))
+        tiny_conv_net.add_module("extra", nn.Conv2d(3, 3, 1))
+        site = FeatureMapSite(layer=0, fmap=0, error_model=StuckAt(1.0))
+        with pytest.raises(RuntimeError, match="layer count changed"):
+            instrument_regions(fi, [site], clone=False)
+        del tiny_conv_net.extra
+
+    def test_make_sites_without_instrumenting(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16))
+        sites = fi.make_neuron_sites(layer_num=[0, 1], dim1=[0, 0], dim2=[0, 0],
+                                     dim3=[0, 0], value=3.0)
+        assert len(sites) == 2
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_weight_sites_via_make(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16))
+        sites = fi.make_weight_sites(layer_num=0, coords=[(0, 0, 0, 0), (1, 1, 1, 1)],
+                                     value=2.0)
+        assert len(sites) == 2
+
+    def test_profile_with_linear_only_model(self):
+        gen = np.random.default_rng(0)
+        net = nn.Sequential(nn.Flatten(), nn.Linear(48, 10, rng=gen),
+                            nn.ReLU(), nn.Linear(10, 4, rng=gen))
+        fi = FaultInjection(net, batch_size=2, input_shape=(3, 4, 4),
+                            layer_types=(nn.Linear,))
+        assert fi.num_layers == 2
+        assert fi.layer(0).neuron_shape == (10,)
+        assert fi.total_neurons() == 14
+
+
+class TestTensorEdgeCases:
+    def test_empty_sum_and_reshape(self):
+        t = Tensor(np.zeros((0, 3), dtype=np.float32))
+        assert t.sum().item() == 0.0
+        assert t.reshape(0, 3).shape == (0, 3)
+
+    def test_broadcasting_scalar_tensor(self):
+        scalar = Tensor(np.float32(2.0))
+        vector = Tensor(np.ones(3, dtype=np.float32))
+        np.testing.assert_array_equal((scalar * vector).data, [2, 2, 2])
+
+    def test_chained_device_and_dtype_moves(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        moved = t.cuda().half().float().cpu()
+        moved.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones(3))
+
+    def test_grad_through_long_mixed_chain(self):
+        x = Tensor(np.full(4, 0.5, dtype=np.float32), requires_grad=True)
+        y = ((x.exp() + 1).log() * x.sigmoid()).tanh().sum()
+        y.backward()
+        assert np.isfinite(x.grad).all()
+        assert (np.abs(x.grad) > 0).all()
+
+    def test_inject_values_with_slice_index(self):
+        x = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        out = x.inject_values((slice(None), 1), np.array([5.0, 6.0]))
+        np.testing.assert_array_equal(out.data[:, 1], [5, 6])
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, 4)))
+
+
+class TestModuleEdgeCases:
+    def test_buffers_move_with_to_device(self):
+        bn = nn.BatchNorm2d(3)
+        bn.cuda()
+        assert bn.running_mean.device.type == "cuda"
+        bn.cpu()
+        assert bn.running_mean.device.type == "cpu"
+
+    def test_state_dict_of_cloned_model_matches(self, tiny_conv_net):
+        clone = tiny_conv_net.clone()
+        for (ka, va), (kb, vb) in zip(sorted(tiny_conv_net.state_dict().items()),
+                                      sorted(clone.state_dict().items())):
+            assert ka == kb
+            np.testing.assert_array_equal(va, vb)
+
+    def test_hook_removal_during_forward_is_safe(self):
+        layer = nn.Identity()
+        handles = []
+
+        def self_removing(module, inputs, output):
+            handles[0].remove()
+            return output + 1
+
+        handles.append(layer.register_forward_hook(self_removing))
+        assert layer(T.zeros(1)).item() == 1.0
+        assert layer(T.zeros(1)).item() == 0.0
+
+    def test_nested_sequential_state_roundtrip(self):
+        gen = np.random.default_rng(1)
+        net = nn.Sequential(nn.Sequential(nn.Linear(2, 3, rng=gen)),
+                            nn.Sequential(nn.Linear(3, 2, rng=gen)))
+        state = net.state_dict()
+        assert "0.0.weight" in state and "1.0.weight" in state
+        net.load_state_dict(state)
+
+
+class TestExperimentCommonEdgeCases:
+    def test_train_tiers_are_ordered(self):
+        from repro.experiments.common import TRAIN_TIERS
+
+        assert (TRAIN_TIERS["smoke"]["epochs"] <= TRAIN_TIERS["small"]["epochs"]
+                <= TRAIN_TIERS["paper"]["epochs"])
+
+    def test_format_table_empty_rows(self):
+        from repro.experiments.common import format_table
+
+        text = format_table(("a", "b"), [])
+        assert "a" in text
+
+    def test_fig3_tiers_scale_trials(self):
+        from repro.experiments.fig3_overhead import _TIER
+
+        assert _TIER["smoke"]["trials"] < _TIER["paper"]["trials"]
+        assert _TIER["paper"]["trials"] == 1000  # the paper's 1000-trial protocol

@@ -1,0 +1,167 @@
+"""Tests for the perturbation-model library."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianNoise,
+    MultiBitFlip,
+    QuantizationParams,
+    RandomValue,
+    ScaleValue,
+    SingleBitFlip,
+    StuckAt,
+    ZeroValue,
+    as_error_model,
+    make_context,
+)
+
+
+@pytest.fixture
+def ctx():
+    return make_context(rng=42)
+
+
+class TestRandomValue:
+    def test_values_in_range(self, ctx):
+        model = RandomValue(-1.0, 1.0)
+        out = model(np.zeros(1000, dtype=np.float32), ctx)
+        assert (out >= -1).all() and (out <= 1).all()
+        assert out.dtype == np.float32
+
+    def test_default_is_paper_default(self):
+        model = RandomValue()
+        assert model.low == -1.0 and model.high == 1.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="low must be"):
+            RandomValue(2.0, 1.0)
+
+    def test_deterministic_given_rng(self):
+        model = RandomValue()
+        a = model(np.zeros(5, dtype=np.float32), make_context(rng=7))
+        b = model(np.zeros(5, dtype=np.float32), make_context(rng=7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSimpleModels:
+    def test_zero_value(self, ctx):
+        out = ZeroValue()(np.full(4, 9.0, dtype=np.float32), ctx)
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+    def test_stuck_at(self, ctx):
+        out = StuckAt(10_000.0)(np.zeros(3, dtype=np.float32), ctx)
+        np.testing.assert_array_equal(out, np.full(3, 10_000.0))
+
+    def test_scale(self, ctx):
+        out = ScaleValue(2.0)(np.array([3.0], dtype=np.float32), ctx)
+        assert out[0] == 6.0
+
+    def test_gaussian_additive_and_relative(self):
+        base = np.full(2000, 4.0, dtype=np.float32)
+        add = GaussianNoise(sigma=0.5)(base, make_context(rng=3))
+        assert abs(add.mean() - 4.0) < 0.1
+        rel = GaussianNoise(sigma=0.1, relative=True)(base, make_context(rng=3))
+        assert abs(rel.mean() - 4.0) < 0.1
+
+    def test_gaussian_invalid_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GaussianNoise(sigma=-1)
+
+
+class TestSingleBitFlip:
+    def test_fixed_sign_bit(self, ctx):
+        model = SingleBitFlip(bit=31)
+        out = model(np.array([2.0, -4.0], dtype=np.float32), ctx)
+        np.testing.assert_array_equal(out, [-2.0, 4.0])
+
+    def test_random_bit_changes_value_bits(self):
+        model = SingleBitFlip()
+        original = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = model(original.copy(), make_context(rng=0))
+        assert (out != original).any()
+
+    def test_quantized_flip_stays_on_grid(self):
+        quant = QuantizationParams(scale=0.25)
+        model = SingleBitFlip()
+        original = np.array([1.0], dtype=np.float32)
+        out = model(original, make_context(rng=1, quantization=quant))
+        # Output must be an integer multiple of the scale within int8 range.
+        q = float(out[0] / quant.scale)
+        assert q == pytest.approx(round(q), abs=1e-5)
+        assert quant.qmin * quant.scale <= out[0] <= quant.qmax * quant.scale
+
+    def test_quantized_msb_flip_magnitude(self):
+        quant = QuantizationParams(scale=0.1)
+        model = SingleBitFlip(bit=7)
+        out = model(np.array([1.0], dtype=np.float32),
+                    make_context(rng=0, quantization=quant))
+        # 1.0 -> q=10 -> flip MSB -> -118 -> dequant -11.8
+        assert out[0] == pytest.approx(-11.8, rel=1e-5)
+
+
+class TestMultiBitFlip:
+    def test_flips_exactly_n_bits(self):
+        from repro.core import bitflip
+
+        model = MultiBitFlip(n_bits=3)
+        original = np.array([1.0], dtype=np.float32)
+        out = model(original.copy(), make_context(rng=5))
+        diff = bitflip.float_to_bits(out)[0] ^ bitflip.float_to_bits(original)[0]
+        assert bin(int(diff)).count("1") == 3
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError, match="n_bits"):
+            MultiBitFlip(n_bits=0)
+        model = MultiBitFlip(n_bits=40)
+        with pytest.raises(ValueError, match="distinct bits"):
+            model(np.array([1.0], dtype=np.float32), make_context(rng=0))
+
+
+class TestQuantizationParams:
+    def test_bounds(self):
+        quant = QuantizationParams(scale=0.5)
+        assert quant.qmin == -128 and quant.qmax == 127
+
+    def test_quantize_clips(self):
+        quant = QuantizationParams(scale=0.1)
+        q = quant.quantize(np.array([1000.0, -1000.0]))
+        np.testing.assert_array_equal(q, [127, -128])
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False, width=32))
+    def test_roundtrip_error_bounded_by_half_scale(self, value):
+        quant = QuantizationParams(scale=0.1)
+        back = quant.dequantize(quant.quantize(np.array([value], dtype=np.float32)))
+        if abs(value) <= 12.7:  # within representable range
+            assert abs(back[0] - value) <= 0.05 + 1e-6
+
+
+class TestCoercion:
+    def test_callable_passthrough(self):
+        fn = RandomValue()
+        assert as_error_model(fn) is fn
+
+    def test_number_becomes_stuck_at(self, ctx):
+        model = as_error_model(7.5)
+        out = model(np.zeros(2, dtype=np.float32), ctx)
+        np.testing.assert_array_equal(out, [7.5, 7.5])
+
+    def test_string_names(self):
+        assert isinstance(as_error_model("random_value"), RandomValue)
+        assert isinstance(as_error_model("zero"), ZeroValue)
+        assert isinstance(as_error_model("single_bit_flip"), SingleBitFlip)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown error model"):
+            as_error_model("nope")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_error_model([1, 2])
+
+    def test_reprs_are_informative(self):
+        assert "low=-1.0" in repr(RandomValue())
+        assert "bit=31" in repr(SingleBitFlip(bit=31))
+        assert "10000" in repr(StuckAt(10000))

@@ -1,0 +1,35 @@
+"""Bit-rot guards: run the fast example scripts end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "classification_resilience.py",
+                "detection_perturbation.py", "resilient_training.py",
+                "adversarial_robustness.py", "interpretability_gradcam.py",
+                "runtime_overhead.py", "custom_error_model.py"} <= present
+
+    def test_quickstart_runs(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "original model untouched: True" in result.stdout
+
+    def test_runtime_overhead_runs(self):
+        result = run_example("runtime_overhead.py")
+        assert result.returncode == 0, result.stderr
+        assert "batch sweep" in result.stdout

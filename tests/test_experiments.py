@@ -1,0 +1,177 @@
+"""Smoke tests for the per-figure experiment modules.
+
+These run every experiment at its ``smoke`` tier (trained models come from
+the on-disk cache after the first run) and assert the paper's *shape*
+claims, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig3_overhead,
+    fig4_classification,
+    fig5_detection,
+    fig6_ibp,
+    fig7_gradcam,
+    table1_training,
+)
+from repro.experiments.common import check_scale, format_table, trained_model
+
+
+class TestCommon:
+    def test_check_scale(self):
+        assert check_scale("smoke") == "smoke"
+        with pytest.raises(ValueError, match="unknown scale"):
+            check_scale("giant")
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_registry_lists_all_figures_and_ablations(self):
+        assert set(ALL_EXPERIMENTS) >= {"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
+        assert {"ablation_granularity", "ablation_quantization", "ablation_criteria",
+                "ablation_bit_position"} <= set(ALL_EXPERIMENTS)
+
+    def test_trained_model_uses_cache(self):
+        _, _, info_first = trained_model("alexnet", "cifar10", scale="smoke", seed=0,
+                                         epochs=2, train_per_class=8)
+        _, _, info_second = trained_model("alexnet", "cifar10", scale="smoke", seed=0,
+                                          epochs=2, train_per_class=8)
+        assert info_second["cached"]
+
+
+class TestFig3:
+    def test_overhead_is_bounded(self):
+        results = fig3_overhead.run(scale="smoke", seed=0)
+        assert len(results["measurements"]) == 4
+        for m in results["measurements"]:
+            # Paper: FI differs by < 10ms; with tiny models and few trials we
+            # allow generous noise but catch structural overheads.
+            assert abs(m.overhead_s) < 0.05
+            assert m.base_mean_s > 0
+
+    def test_batch_sweep(self):
+        results = fig3_overhead.run(scale="smoke", seed=0, sweep_batch=True)
+        assert [m.batch_size for m in results["sweep"]] == [1, 4]
+
+    def test_report_renders(self):
+        results = fig3_overhead.run(scale="smoke", seed=0)
+        text = fig3_overhead.report(results)
+        assert "Fig. 3" in text and "alexnet" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig4_classification.run(scale="smoke", seed=0)
+
+    def test_all_networks_ran(self, results):
+        assert {row["network"] for row in results["rows"]} == {"alexnet", "shufflenet"}
+
+    def test_sdc_rates_in_paper_regime(self, results):
+        for row in results["rows"]:
+            rate = row["result"].corruption_rate
+            # Paper shape: nonzero but small (< a few %).
+            assert rate < 0.10
+
+    def test_some_corruptions_observed(self, results):
+        total = sum(row["result"].corruptions for row in results["rows"])
+        assert total > 0
+
+    def test_report_renders(self, results):
+        text = fig4_classification.report(results)
+        assert "SDC" in text and "99% CI" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig5_detection.run(scale="smoke", seed=0)
+
+    def test_detector_learned_the_scenes(self, results):
+        assert results["clean_mean_f1"] > 0.6
+
+    def test_perturbation_corrupts_scenes(self, results):
+        assert results["corrupted_fraction"] > 0.5
+
+    def test_phantoms_appear(self, results):
+        assert results["mean_phantoms"] > 0
+
+    def test_injected_one_site_per_layer(self, results):
+        assert results["sites"] == results["injected_layers"]
+
+    def test_report_renders(self, results):
+        text = fig5_detection.report(results)
+        assert "phantom" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig6_ibp.run(scale="smoke", seed=0)
+
+    def test_baseline_has_measurable_vulnerability(self, results):
+        assert results["baseline_rate"].trials == 800
+        assert results["baseline_rate"].rate > 0
+
+    def test_grid_cells_present(self, results):
+        assert len(results["cells"]) == 2
+
+    def test_ibp_no_worse_than_baseline_on_average(self, results):
+        rels = [c["relative_vulnerability"] for c in results["cells"]
+                if c["relative_vulnerability"] is not None]
+        assert rels, "baseline rate was zero"
+        assert np.mean(rels) <= 1.5  # paper shape: <= 1, allow smoke-scale noise
+
+    def test_report_renders(self, results):
+        text = fig6_ibp.report(results)
+        assert "relative" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig7_gradcam.run(scale="smoke", seed=0)
+
+    def test_low_sensitivity_moves_heatmap_less(self, results):
+        assert results["mean_low"] <= results["mean_high"] + 0.02
+
+    def test_low_sensitivity_keeps_class(self, results):
+        kept = [s["low_class"] == s["clean_class"] for s in results["studies"]]
+        assert np.mean(kept) >= 0.5
+
+    def test_report_renders(self, results):
+        text = fig7_gradcam.report(results)
+        assert "Grad-CAM" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table1_training.run(scale="smoke", seed=0)
+
+    def test_training_times_comparable(self, results):
+        base = results["rows"]["baseline"]["train_time_s"]
+        fi = results["rows"]["fi"]["train_time_s"]
+        assert fi < base * 2.5  # paper: +24s on 2h; injection adds bounded cost
+
+    def test_accuracies_comparable(self, results):
+        base = results["rows"]["baseline"]["test_accuracy"]
+        fi = results["rows"]["fi"]["test_accuracy"]
+        assert abs(base - fi) < 0.15
+
+    def test_fi_model_not_more_vulnerable(self, results):
+        base = results["rows"]["baseline"]["campaign"].corruptions
+        fi = results["rows"]["fi"]["campaign"].corruptions
+        # Paper shape: FI-trained has fewer misclassifications; allow ties
+        # plus binomial noise at smoke scale.
+        assert fi <= base * 1.3 + 5
+
+    def test_report_renders(self, results):
+        text = table1_training.report(results)
+        assert "Baseline" in text and "PyTorchFI-trained" in text

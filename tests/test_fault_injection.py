@@ -1,0 +1,269 @@
+"""Tests for the FaultInjection engine — the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.core import (
+    FaultInjection,
+    RandomValue,
+    StuckAt,
+    ZeroValue,
+)
+
+
+@pytest.fixture
+def fi(tiny_conv_net):
+    return FaultInjection(tiny_conv_net, batch_size=2, input_shape=(3, 16, 16), rng=0)
+
+
+class TestProfiling:
+    def test_layer_count_matches_convs(self, fi, tiny_conv_net):
+        convs = [m for m in tiny_conv_net.modules() if isinstance(m, nn.Conv2d)]
+        assert fi.num_layers == len(convs) == 3
+
+    def test_output_shapes_profiled(self, fi):
+        assert fi.output_size(0) == (2, 8, 16, 16)
+        assert fi.output_size(1) == (2, 12, 8, 8)
+        assert fi.output_size(2) == (2, 16, 8, 8)
+
+    def test_weight_shapes_profiled(self, fi):
+        assert fi.weight_size(0) == (8, 3, 3, 3)
+
+    def test_totals(self, fi):
+        assert fi.total_neurons() == 8 * 16 * 16 + 12 * 8 * 8 + 16 * 8 * 8
+        assert fi.total_weights() == 8 * 3 * 9 + 12 * 8 * 9 + 16 * 12 * 9
+
+    def test_layer_types_filter(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16),
+                            layer_types=(nn.Conv2d, nn.Linear))
+        assert fi.num_layers == 4
+        assert fi.layers[-1].module_type == "Linear"
+
+    def test_no_instrumentable_layers_raises(self):
+        net = nn.Sequential(nn.Flatten(), nn.Linear(12, 2))
+        with pytest.raises(ValueError, match="no layers"):
+            FaultInjection(net, batch_size=1, input_shape=(3, 2, 2))
+
+    def test_profiling_leaves_no_hooks(self, fi, tiny_conv_net):
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_profiling_restores_training_mode(self, tiny_conv_net):
+        tiny_conv_net.train()
+        FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16))
+        assert tiny_conv_net.training
+
+    def test_bad_batch_size(self, tiny_conv_net):
+        with pytest.raises(ValueError, match="batch_size"):
+            FaultInjection(tiny_conv_net, batch_size=0, input_shape=(3, 16, 16))
+
+    def test_summary_mentions_every_layer(self, fi):
+        text = fi.summary()
+        assert text.count("Conv2d") == 3
+
+    def test_layer_index_bounds(self, fi):
+        with pytest.raises(IndexError):
+            fi.layer(3)
+
+
+class TestNeuronInjection:
+    def test_exact_location_perturbed(self, fi, tiny_conv_net):
+        x = T.randn(2, 3, 16, 16, rng=1)
+        base = tiny_conv_net(x).data
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=4, dim2=7, dim3=9, batch=-1, value=1e6
+        )
+        out = corrupt(x).data
+        assert not np.allclose(base, out)
+
+    def test_hook_sets_requested_value(self, fi, tiny_conv_net):
+        captured = {}
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=1, dim1=2, dim2=3, dim3=3, batch=-1, value=123.0
+        )
+        convs = [m for m in corrupt.modules() if isinstance(m, nn.Conv2d)]
+        convs[1].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("value", o.data[:, 2, 3, 3].copy())
+        )
+        corrupt(T.randn(2, 3, 16, 16, rng=1))
+        np.testing.assert_array_equal(captured["value"], [123.0, 123.0])
+
+    def test_single_batch_element(self, fi):
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, batch=1, value=1e6
+        )
+        x = T.randn(2, 3, 16, 16, rng=2)
+        out = corrupt(x).data
+        base = fi.model(x).data
+        np.testing.assert_allclose(out[0], base[0], rtol=1e-5)
+        assert not np.allclose(out[1], base[1])
+
+    def test_multiple_sites_parallel_lists(self, fi):
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=[0, 1], dim1=[0, 1], dim2=[0, 2], dim3=[0, 2],
+            batch=[-1, -1], value=[50.0, 60.0],
+        )
+        out = corrupt(T.randn(2, 3, 16, 16, rng=3))
+        assert out.shape == (2, 10)
+
+    def test_original_model_untouched(self, fi, tiny_conv_net):
+        x = T.randn(2, 3, 16, 16, rng=4)
+        base = tiny_conv_net(x).data
+        fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=0, dim3=0, value=1e9)
+        np.testing.assert_array_equal(tiny_conv_net(x).data, base)
+
+    def test_custom_function_model(self, fi):
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, function=ZeroValue()
+        )
+        assert corrupt is not fi.model
+
+    def test_inplace_instrumentation(self, fi, tiny_conv_net):
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, value=9.0, clone=False
+        )
+        assert corrupt is tiny_conv_net
+        fi.reset()
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_value_and_function_exclusive(self, fi):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            fi.declare_neuron_fault_injection(
+                layer_num=0, dim1=0, dim2=0, dim3=0, value=1.0, function=ZeroValue()
+            )
+
+    def test_neither_value_nor_function(self, fi):
+        with pytest.raises(ValueError, match="error model"):
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=0, dim3=0)
+
+    def test_gradient_flows_through_injection(self, fi):
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, value=0.5
+        )
+        x = T.randn(2, 3, 16, 16, rng=5, requires_grad=True)
+        corrupt(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestValidation:
+    def test_layer_out_of_range(self, fi):
+        with pytest.raises(IndexError):
+            fi.declare_neuron_fault_injection(layer_num=9, dim1=0, dim2=0, dim3=0, value=1.0)
+
+    def test_coordinate_out_of_range(self, fi):
+        with pytest.raises(ValueError, match="out of range"):
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=8, dim2=0, dim3=0, value=1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=16, dim3=0, value=1.0)
+
+    def test_batch_out_of_range(self, fi):
+        with pytest.raises(ValueError, match="batch index"):
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=0, dim3=0,
+                                              batch=2, value=1.0)
+
+    def test_rank_mismatch(self, fi):
+        with pytest.raises(ValueError, match="rank"):
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=0, value=1.0)
+
+    def test_mismatched_list_lengths(self, fi):
+        with pytest.raises(ValueError, match="mismatched lengths"):
+            fi.declare_neuron_fault_injection(
+                layer_num=[0, 1], dim1=[0], dim2=[0, 0], dim3=[0, 0], value=1.0
+            )
+
+    def test_linear_layer_uses_1d_coords(self, tiny_conv_net):
+        fi = FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16),
+                            layer_types=(nn.Linear,))
+        corrupt = fi.declare_neuron_fault_injection(layer_num=0, dim1=3, value=77.0)
+        out = corrupt(T.randn(1, 3, 16, 16, rng=0))
+        assert out.data[0, 3] == 77.0
+
+
+class TestWeightInjection:
+    def test_value_written_and_restored(self, fi, tiny_conv_net):
+        original = tiny_conv_net[0].weight.data[0, 0, 0, 0]
+        corrupt = fi.declare_weight_fault_injection(
+            layer_num=0, coords=(0, 0, 0, 0), value=42.0, clone=False
+        )
+        assert tiny_conv_net[0].weight.data[0, 0, 0, 0] == 42.0
+        fi.reset()
+        assert tiny_conv_net[0].weight.data[0, 0, 0, 0] == original
+
+    def test_clone_does_not_touch_original(self, fi, tiny_conv_net):
+        original = tiny_conv_net[0].weight.data.copy()
+        corrupt = fi.declare_weight_fault_injection(
+            layer_num=0, coords=(1, 1, 1, 1), value=99.0
+        )
+        np.testing.assert_array_equal(tiny_conv_net[0].weight.data, original)
+        convs = [m for m in corrupt.modules() if isinstance(m, nn.Conv2d)]
+        assert convs[0].weight.data[1, 1, 1, 1] == 99.0
+
+    def test_split_coordinate_form(self, fi, tiny_conv_net):
+        corrupt = fi.declare_weight_fault_injection(
+            layer_num=0, k=2, dim1=1, dim2=0, dim3=2, value=7.0, clone=False
+        )
+        assert tiny_conv_net[0].weight.data[2, 1, 0, 2] == 7.0
+        fi.reset()
+
+    def test_error_model_applied_to_weight(self, fi, tiny_conv_net):
+        fi.declare_weight_fault_injection(
+            layer_num=0, coords=(0, 0, 0, 0), function=StuckAt(5.0), clone=False
+        )
+        assert tiny_conv_net[0].weight.data[0, 0, 0, 0] == 5.0
+        fi.reset()
+
+    def test_coordinate_validation(self, fi):
+        with pytest.raises(ValueError, match="out of range"):
+            fi.declare_weight_fault_injection(layer_num=0, coords=(8, 0, 0, 0), value=1.0)
+        with pytest.raises(ValueError, match="rank"):
+            fi.declare_weight_fault_injection(layer_num=0, coords=(0, 0), value=1.0)
+
+    def test_multiple_weight_sites_restore_in_order(self, fi, tiny_conv_net):
+        weight = tiny_conv_net[0].weight
+        original = weight.data[0, 0, 0, 0]
+        fi.declare_weight_fault_injection(
+            layer_num=[0, 0], coords=[(0, 0, 0, 0), (0, 0, 0, 0)], value=[1.0, 2.0],
+            clone=False,
+        )
+        assert weight.data[0, 0, 0, 0] == 2.0
+        fi.reset()
+        assert weight.data[0, 0, 0, 0] == original
+
+    def test_weight_injection_zero_runtime_hooks(self, fi, tiny_conv_net):
+        corrupt = fi.declare_weight_fault_injection(
+            layer_num=0, coords=(0, 0, 0, 0), value=3.0
+        )
+        assert all(len(m._forward_hooks) == 0 for m in corrupt.modules())
+
+
+class TestLifecycle:
+    def test_context_manager_resets(self, tiny_conv_net):
+        with FaultInjection(tiny_conv_net, batch_size=1, input_shape=(3, 16, 16)) as fi:
+            fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=0, dim3=0,
+                                              value=1.0, clone=False)
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_reset_clears_multiple_models(self, fi):
+        a = fi.declare_neuron_fault_injection(layer_num=0, dim1=0, dim2=0, dim3=0, value=1.0)
+        b = fi.declare_neuron_fault_injection(layer_num=1, dim1=0, dim2=0, dim3=0, value=2.0)
+        fi.reset()
+        for model in (a, b):
+            assert all(len(m._forward_hooks) == 0 for m in model.modules())
+
+    def test_repr(self, fi):
+        text = repr(fi)
+        assert "layers=3" in text and "batch_size=2" in text
+
+    def test_deterministic_given_seed(self, tiny_conv_net):
+        from repro.core import random_neuron_injection
+
+        x = T.randn(2, 3, 16, 16, rng=9)
+        outs = []
+        for _ in range(2):
+            fi = FaultInjection(tiny_conv_net, batch_size=2, input_shape=(3, 16, 16), rng=5)
+            model, _ = random_neuron_injection(fi, RandomValue())
+            outs.append(model(x).data.copy())
+            fi.reset()
+        np.testing.assert_array_equal(outs[0], outs[1])

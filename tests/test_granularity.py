@@ -1,0 +1,135 @@
+"""Tests for feature-map- and layer-level injections."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.core import (
+    FaultInjection,
+    FeatureMapSite,
+    StuckAt,
+    ZeroValue,
+    declare_feature_map_injection,
+    instrument_regions,
+    random_feature_map_injection,
+    random_layer_injection,
+)
+
+
+@pytest.fixture
+def fi(tiny_conv_net):
+    return FaultInjection(tiny_conv_net, batch_size=2, input_shape=(3, 16, 16), rng=0)
+
+
+class TestFeatureMapInjection:
+    def test_whole_channel_replaced(self, fi, tiny_conv_net):
+        corrupted = declare_feature_map_injection(fi, layer_num=0, fmap=3, value=7.0)
+        captured = {}
+        convs = [m for m in corrupted.modules() if isinstance(m, nn.Conv2d)]
+        convs[0].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("out", o.data.copy())
+        )
+        corrupted(T.randn(2, 3, 16, 16, rng=1))
+        np.testing.assert_array_equal(captured["out"][:, 3], np.full((2, 16, 16), 7.0))
+        # Other channels untouched by the injection value.
+        assert not np.allclose(captured["out"][:, 2], 7.0)
+
+    def test_single_batch_element(self, fi):
+        corrupted = declare_feature_map_injection(fi, layer_num=0, fmap=0, batch=1,
+                                                  value=5.0)
+        captured = {}
+        convs = [m for m in corrupted.modules() if isinstance(m, nn.Conv2d)]
+        convs[0].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("out", o.data.copy())
+        )
+        corrupted(T.randn(2, 3, 16, 16, rng=2))
+        assert (captured["out"][1, 0] == 5.0).all()
+        assert not (captured["out"][0, 0] == 5.0).all()
+
+    def test_layer_level_injection(self, fi):
+        corrupted = declare_feature_map_injection(fi, layer_num=1, fmap=None, value=0.0)
+        captured = {}
+        convs = [m for m in corrupted.modules() if isinstance(m, nn.Conv2d)]
+        convs[1].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("out", o.data.copy())
+        )
+        corrupted(T.randn(2, 3, 16, 16, rng=3))
+        np.testing.assert_array_equal(captured["out"], np.zeros_like(captured["out"]))
+
+    def test_error_model_sees_original_values(self, fi):
+        seen = {}
+
+        def spy(original, ctx):
+            seen["n"] = original.size
+            return original  # identity perturbation
+
+        corrupted = declare_feature_map_injection(fi, layer_num=0, fmap=0, function=spy)
+        corrupted(T.randn(2, 3, 16, 16, rng=4))
+        assert seen["n"] == 2 * 16 * 16  # both batch elements' channel
+
+    def test_validation(self, fi):
+        with pytest.raises(ValueError, match="out of range"):
+            declare_feature_map_injection(fi, layer_num=0, fmap=99, value=1.0)
+        with pytest.raises(ValueError, match="batch index"):
+            declare_feature_map_injection(fi, layer_num=0, fmap=0, batch=5, value=1.0)
+        with pytest.raises(ValueError, match="error model"):
+            declare_feature_map_injection(fi, layer_num=0, fmap=0)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            declare_feature_map_injection(fi, layer_num=0, fmap=0, value=1.0,
+                                          function=ZeroValue())
+
+    def test_reset_removes_hooks(self, fi, tiny_conv_net):
+        declare_feature_map_injection(fi, layer_num=0, fmap=0, value=1.0, clone=False)
+        fi.reset()
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_gradient_flows(self, fi):
+        corrupted = declare_feature_map_injection(fi, layer_num=0, fmap=0, value=0.5)
+        x = T.randn(2, 3, 16, 16, rng=5, requires_grad=True)
+        corrupted(x).sum().backward()
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestRandomRegionInjections:
+    def test_random_fmap_record(self, fi):
+        model, record = random_feature_map_injection(fi, StuckAt(9.0), rng=1)
+        assert record.kind == "feature_map"
+        site = record.sites[0]
+        assert 0 <= site.layer < fi.num_layers
+        assert 0 <= site.fmap < fi.layer(site.layer).neuron_shape[0]
+
+    def test_random_layer_record(self, fi):
+        model, record = random_layer_injection(fi, StuckAt(9.0), rng=2)
+        assert record.kind == "layer"
+        assert record.sites[0].fmap is None
+
+    def test_fixed_layer(self, fi):
+        _, record = random_feature_map_injection(fi, StuckAt(1.0), layer=2, rng=3)
+        assert record.sites[0].layer == 2
+
+    def test_coarser_granularity_bigger_effect(self, fi, tiny_conv_net):
+        """Layer-level zeroing must move the logits at least as much as
+        single-fmap zeroing of the same layer."""
+        x = T.randn(2, 3, 16, 16, rng=6)
+        base = tiny_conv_net(x).data
+        fmap_model, _ = random_feature_map_injection(fi, ZeroValue(), layer=0, rng=7)
+        layer_model, _ = random_layer_injection(fi, ZeroValue(), layer=0, rng=8)
+        fmap_delta = np.abs(fmap_model(x).data - base).mean()
+        layer_delta = np.abs(layer_model(x).data - base).mean()
+        assert layer_delta >= fmap_delta
+
+    def test_multiple_sites_one_layer(self, fi):
+        sites = [
+            FeatureMapSite(layer=0, fmap=0, error_model=StuckAt(1.0)),
+            FeatureMapSite(layer=0, fmap=1, error_model=StuckAt(2.0)),
+        ]
+        corrupted = instrument_regions(fi, sites)
+        captured = {}
+        convs = [m for m in corrupted.modules() if isinstance(m, nn.Conv2d)]
+        convs[0].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("out", o.data.copy())
+        )
+        corrupted(T.randn(2, 3, 16, 16, rng=9))
+        assert (captured["out"][:, 0] == 1.0).all()
+        assert (captured["out"][:, 1] == 2.0).all()

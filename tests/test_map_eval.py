@@ -1,0 +1,104 @@
+"""Tests for the mAP evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.detection import Detections, average_precision, mean_average_precision
+
+
+def make_detections(boxes, labels, scores=None):
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    if scores is None:
+        scores = np.linspace(0.9, 0.5, len(boxes))
+    return Detections(boxes=boxes, scores=np.asarray(scores, dtype=np.float32),
+                      labels=np.asarray(labels, dtype=np.int64))
+
+
+class TestAveragePrecision:
+    def test_perfect_detection_gives_ap_one(self):
+        gt = [np.array([[0, 0, 10, 10], [20, 20, 30, 30]], dtype=np.float32)]
+        labels = [np.array([0, 0])]
+        dets = [make_detections(gt[0], [0, 0])]
+        result = average_precision(dets, gt, labels, class_id=0)
+        assert result.ap == pytest.approx(1.0)
+        assert result.n_ground_truth == 2
+
+    def test_no_detections_gives_zero(self):
+        gt = [np.array([[0, 0, 10, 10]], dtype=np.float32)]
+        labels = [np.array([0])]
+        result = average_precision([Detections.empty()], gt, labels, class_id=0)
+        assert result.ap == 0.0
+        assert result.n_detections == 0
+
+    def test_no_ground_truth_gives_zero(self):
+        dets = [make_detections([[0, 0, 10, 10]], [0])]
+        gt = [np.zeros((0, 4), dtype=np.float32)]
+        labels = [np.zeros(0, dtype=np.int64)]
+        result = average_precision(dets, gt, labels, class_id=0)
+        assert result.ap == 0.0
+        assert result.n_ground_truth == 0
+
+    def test_false_positives_lower_ap(self):
+        gt = [np.array([[0, 0, 10, 10]], dtype=np.float32)]
+        labels = [np.array([0])]
+        clean = [make_detections([[0, 0, 10, 10]], [0], scores=[0.9])]
+        noisy = [make_detections([[40, 40, 50, 50], [0, 0, 10, 10]], [0, 0],
+                                 scores=[0.95, 0.9])]
+        ap_clean = average_precision(clean, gt, labels, 0).ap
+        ap_noisy = average_precision(noisy, gt, labels, 0).ap
+        assert ap_noisy < ap_clean
+
+    def test_low_iou_match_is_false_positive(self):
+        gt = [np.array([[0, 0, 10, 10]], dtype=np.float32)]
+        labels = [np.array([0])]
+        dets = [make_detections([[8, 8, 18, 18]], [0])]  # IoU ~ 0.02
+        result = average_precision(dets, gt, labels, 0, iou_threshold=0.5)
+        assert result.ap == 0.0
+
+    def test_duplicate_detections_penalised(self):
+        gt = [np.array([[0, 0, 10, 10]], dtype=np.float32)]
+        labels = [np.array([0])]
+        dets = [make_detections([[0, 0, 10, 10], [0, 0, 10, 10]], [0, 0],
+                                scores=[0.9, 0.8])]
+        result = average_precision(dets, gt, labels, 0)
+        assert result.ap == pytest.approx(1.0)  # recall 1 reached at precision 1
+        assert result.n_detections == 2
+
+    def test_wrong_class_not_counted(self):
+        gt = [np.array([[0, 0, 10, 10]], dtype=np.float32)]
+        labels = [np.array([1])]
+        dets = [make_detections([[0, 0, 10, 10]], [0])]
+        result = average_precision(dets, gt, labels, class_id=1)
+        assert result.ap == 0.0
+
+
+class TestMeanAP:
+    def test_map_averages_present_classes(self):
+        gt = [np.array([[0, 0, 10, 10], [20, 20, 30, 30]], dtype=np.float32)]
+        labels = [np.array([0, 1])]
+        dets = [make_detections([[0, 0, 10, 10]], [0], scores=[0.9])]  # class 1 missed
+        value, per_class = mean_average_precision(dets, gt, labels, num_classes=3)
+        assert value == pytest.approx(0.5)  # (1.0 + 0.0) / 2; class 2 absent
+        assert per_class[2].n_ground_truth == 0
+
+    def test_map_zero_when_no_gt(self):
+        value, _ = mean_average_precision(
+            [Detections.empty()], [np.zeros((0, 4), dtype=np.float32)],
+            [np.zeros(0, dtype=np.int64)], num_classes=2)
+        assert value == 0.0
+
+    def test_trained_detector_map_reasonable(self):
+        """The Fig. 5 detector should hit decent mAP on its training scenes."""
+        from repro.data import SyntheticDetection
+        from repro.detection import decode
+        from repro.experiments.fig5_detection import trained_detector
+        from repro.tensor import Tensor, no_grad
+
+        model, dataset, _ = trained_detector(scale="smoke", seed=0)
+        rng = np.random.default_rng(5)
+        images, gt_boxes, gt_labels = dataset.sample_batch(8, rng=rng)
+        with no_grad():
+            dets = decode(model(Tensor(images)), model, conf_threshold=0.4)
+        value, _ = mean_average_precision(dets, gt_boxes, gt_labels,
+                                          num_classes=dataset.num_classes)
+        assert value > 0.5

@@ -1,0 +1,192 @@
+"""Model-zoo tests: shapes, registry, scaling, and architectural features."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro import tensor as T
+from repro.models.common import channel_shuffle, scaled
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,dataset", models.FIG3_ROSTER,
+                             ids=[f"{n}-{d}" for n, d in models.FIG3_ROSTER])
+    def test_roster_forward_shapes(self, name, dataset):
+        num_classes, size = models.dataset_preset(dataset)
+        net = models.get_model(name, dataset, scale="smoke", rng=0)
+        net.eval()
+        out = net(T.randn(2, 3, size, size, rng=1))
+        assert out.shape == (2, num_classes)
+
+    def test_roster_is_the_papers_19(self):
+        assert len(models.FIG3_ROSTER) == 19
+        assert len(models.FIG4_NETWORKS) == 6
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            models.get_model("resnet9000")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            models.get_model("alexnet", "mnist")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            models.get_model("alexnet", "cifar10", scale="huge")
+
+    def test_scale_grows_parameters(self):
+        small = models.get_model("alexnet", "cifar10", scale="smoke", rng=0)
+        large = models.get_model("alexnet", "cifar10", scale="small", rng=0)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_width_mult_override(self):
+        net = models.get_model("resnet18", "cifar10", scale="smoke", width_mult=0.5, rng=0)
+        wider = models.get_model("resnet18", "cifar10", scale="smoke", width_mult=1.0, rng=0)
+        assert wider.num_parameters() > net.num_parameters()
+
+    def test_list_models(self):
+        names = models.list_models()
+        assert "alexnet" in names and "resnet110" in names
+
+    def test_determinism_given_rng(self):
+        a = models.get_model("alexnet", "cifar10", scale="smoke", rng=3)
+        b = models.get_model("alexnet", "cifar10", scale="smoke", rng=3)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestArchitecturalDetails:
+    def test_cifar_resnet_depth_rule(self):
+        with pytest.raises(ValueError, match="6n\\+2"):
+            models.resnet110(depth=15)
+
+    def test_preresnet_depth_rule(self):
+        with pytest.raises(ValueError, match="6n\\+2"):
+            models.preresnet110(depth=13)
+
+    def test_densenet_depth_rule(self):
+        with pytest.raises(ValueError, match="6n\\+4"):
+            models.densenet(depth=17)
+
+    def test_resnext_depth_rule(self):
+        from repro.models.resnext import ResNeXt
+
+        with pytest.raises(ValueError, match="9n\\+2"):
+            ResNeXt(depth=30)
+
+    def test_vgg_unknown_config(self):
+        from repro.models.vgg import VGG
+
+        with pytest.raises(ValueError, match="unknown VGG config"):
+            VGG("vgg7")
+
+    def test_vgg_input_size_rule(self):
+        with pytest.raises(ValueError, match="divisible by 32"):
+            models.vgg19(input_size=40)
+
+    def test_alexnet_input_size_rule(self):
+        with pytest.raises(ValueError, match="divisible by 8"):
+            models.alexnet(input_size=30)
+
+    def test_resnet110_block_count(self):
+        net = models.resnet110(depth=20, width_mult=0.125)
+        convs = [m for m in net.modules() if isinstance(m, nn.Conv2d)]
+        # 6n+2 with n=3: 1 stem + 18 block convs + shortcut projections.
+        assert len(convs) >= 19
+
+    def test_densenet_channel_growth(self):
+        net = models.densenet(depth=16, growth_rate=8, width_mult=1.0)
+        out = net(T.randn(1, 3, 32, 32, rng=0))
+        assert out.shape == (1, 10)
+
+    def test_mobilenet_uses_depthwise(self):
+        net = models.mobilenet(num_classes=10, width_mult=0.25, rng=0)
+        depthwise = [
+            m for m in net.modules()
+            if isinstance(m, nn.Conv2d) and m.groups == m.in_channels and m.groups > 1
+        ]
+        assert len(depthwise) == 13
+
+    def test_shufflenet_uses_groups(self):
+        net = models.shufflenet(num_classes=10, width_mult=0.25, groups=2, rng=0)
+        grouped_pointwise = [
+            m for m in net.modules()
+            if isinstance(m, nn.Conv2d) and m.kernel_size == (1, 1) and m.groups == 2
+        ]
+        assert grouped_pointwise
+
+    def test_googlenet_inception_concatenation(self):
+        from repro.models.googlenet import Inception
+
+        module = Inception(8, 4, 4, 8, 2, 4, 4, rng=0)
+        out = module(T.randn(1, 8, 6, 6, rng=1))
+        assert out.shape == (1, module.out_channels, 6, 6)
+        assert module.out_channels == 4 + 8 + 4 + 4
+
+    def test_squeezenet_fire_concatenation(self):
+        from repro.models.squeezenet import Fire
+
+        fire = Fire(8, 4, 6, 6, rng=0)
+        out = fire(T.randn(1, 8, 5, 5, rng=1))
+        assert out.shape == (1, 12, 5, 5)
+
+
+class TestCommonBlocks:
+    def test_scaled_respects_minimum_and_divisor(self):
+        assert scaled(64, 0.01, minimum=8) == 8
+        assert scaled(64, 0.5) == 32
+        assert scaled(100, 1.0, divisor=4) == 100
+
+    def test_channel_shuffle_permutation(self):
+        x = T.Tensor(np.arange(8, dtype=np.float32).reshape(1, 8, 1, 1))
+        out = channel_shuffle(x, 2).data[0, :, 0, 0]
+        np.testing.assert_array_equal(out, [0, 4, 1, 5, 2, 6, 3, 7])
+
+    def test_channel_shuffle_invalid_groups(self):
+        x = T.zeros(1, 6, 2, 2)
+        with pytest.raises(ValueError, match="divisible"):
+            channel_shuffle(x, 4)
+
+    def test_channel_shuffle_is_invertible(self):
+        x = T.randn(1, 12, 2, 2, rng=0)
+        out = channel_shuffle(channel_shuffle(x, 3), 4)
+        np.testing.assert_array_equal(out.data, x.data)
+
+
+class TestYolo:
+    def test_two_heads_with_correct_shapes(self):
+        net = models.tiny_yolov3(num_classes=8, width_mult=0.125, image_size=64, rng=0)
+        net.eval()
+        outs = net(T.randn(2, 3, 64, 64, rng=1))
+        assert len(outs) == 2
+        assert outs[0].shape == (2, 3 * (5 + 8), 2, 2)  # stride 32
+        assert outs[1].shape == (2, 3 * (5 + 8), 4, 4)  # stride 16
+
+    def test_strides_property(self):
+        net = models.tiny_yolov3(width_mult=0.125, rng=0)
+        assert net.strides == (32, 16)
+
+    def test_image_size_rule(self):
+        with pytest.raises(ValueError, match="divisible by 32"):
+            models.tiny_yolov3(image_size=50)
+
+
+class TestTrainability:
+    def test_one_sgd_step_reduces_loss(self, tiny_dataset):
+        from repro import optim
+        from repro.nn import functional as F
+
+        net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)
+        images, labels = tiny_dataset.sample(16, rng=1)
+        # tiny_dataset is 16x16; resnet18 accepts any spatial size >= 8.
+        x = T.Tensor(images)
+        optimizer = optim.SGD(net.parameters(), lr=0.05)
+        losses = []
+        for _ in range(4):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(net(x), labels % 10)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,300 @@
+"""Tests of the numpy kernels against naive references."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+def naive_conv2d(x, w, b, stride, padding, groups=1):
+    """Straightforward loop convolution used as the ground truth."""
+    n, c, h, wdt = x.shape
+    oc, cg, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (wdt + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, oc, oh, ow), dtype=np.float64)
+    ocg = oc // groups
+    for img in range(n):
+        for f in range(oc):
+            g = f // ocg
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[img, g * cg : (g + 1) * cg,
+                               i * sh : i * sh + kh, j * sw : j * sw + kw]
+                    out[img, f, i, j] = (patch * w[f]).sum()
+            if b is not None:
+                out[img, f] += b[f]
+    return out.astype(np.float32)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "stride,padding,groups",
+        [((1, 1), (0, 0), 1), ((1, 1), (1, 1), 1), ((2, 2), (1, 1), 1),
+         ((1, 1), (1, 1), 2), ((2, 1), (0, 1), 1), ((1, 1), (0, 0), 4)],
+    )
+    def test_matches_naive(self, rng, stride, padding, groups):
+        x = rng.standard_normal((2, 4, 7, 6)).astype(np.float32)
+        w = rng.standard_normal((8, 4 // groups, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride,
+                       padding=padding, groups=groups)
+        np.testing.assert_allclose(
+            out.data, naive_conv2d(x, w, b, stride, padding, groups), rtol=1e-4, atol=1e-4
+        )
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=1)
+        np.testing.assert_allclose(
+            out.data, naive_conv2d(x, w, None, (1, 1), (1, 1)), rtol=1e-4, atol=1e-4
+        )
+
+    def test_1x1_kernel(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 4, 1, 1)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), None)
+        expected = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(x, w, None)
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)).astype(np.float32))
+        w = Tensor(rng.standard_normal((1, 1, 5, 5)).astype(np.float32))
+        with pytest.raises(ValueError, match="empty output"):
+            F.conv2d(x, w, None)
+
+    def test_dilation_unsupported(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)).astype(np.float32))
+        w = Tensor(rng.standard_normal((1, 1, 3, 3)).astype(np.float32))
+        with pytest.raises(NotImplementedError):
+            F.conv2d(x, w, None, dilation=2)
+
+    def test_grouped_conv_gradients(self, rng):
+        x = Tensor(rng.standard_normal((2, 4, 5, 5)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((6, 2, 3, 3)).astype(np.float32) * 0.4,
+                   requires_grad=True)
+        b = Tensor(rng.standard_normal(6).astype(np.float32) * 0.1, requires_grad=True)
+
+        def fn():
+            return (F.conv2d(x, w, b, stride=2, padding=1, groups=2) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+        assert_grad_close(w.grad, numerical_gradient(fn, w))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+
+class TestPooling:
+    def test_max_pool_matches_naive(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        out = F.max_pool2d(Tensor(x), 2, 2).data
+        expected = x.reshape(1, 2, 3, 2, 3, 2).max(axis=(3, 5))
+        np.testing.assert_array_equal(out, expected)
+
+    def test_max_pool_with_padding_ignores_pad(self):
+        x = np.full((1, 1, 2, 2), -5.0, dtype=np.float32)
+        out = F.max_pool2d(Tensor(x), 2, 2, padding=1).data
+        # Padding is -inf, so every window max is a real element.
+        assert (out == -5.0).all()
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 3.0], [2.0, 0.0]]]], dtype=np.float32),
+                   requires_grad=True)
+        F.max_pool2d(x, 2, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad[0, 0], [[0, 1], [0, 0]])
+
+    def test_avg_pool_matches_naive(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = F.avg_pool2d(Tensor(x), 2, 2).data
+        expected = x.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_avg_pool_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+
+        def fn():
+            return (F.avg_pool2d(x, 2, 2) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+
+    def test_adaptive_avg_pool(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        out = F.adaptive_avg_pool2d(Tensor(x), 2)
+        assert out.shape == (1, 2, 2, 2)
+        with pytest.raises(ValueError, match="divisible"):
+            F.adaptive_avg_pool2d(Tensor(x), 3)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.data[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestUpsample:
+    def test_nearest_doubling(self):
+        x = Tensor(np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2))
+        out = F.upsample_nearest2d(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_array_equal(
+            out.data[0, 0], [[0, 0, 1, 1], [0, 0, 1, 1], [2, 2, 3, 3], [2, 2, 3, 3]]
+        )
+
+    def test_upsample_gradient_sums(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        F.upsample_nearest2d(x, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 1)
+        rm = Tensor(np.zeros(4, np.float32))
+        rv = Tensor(np.ones(4, np.float32))
+        out = F.batch_norm(x, rm, rv, training=True).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(4), atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.standard_normal((8, 2, 4, 4)).astype(np.float32) + 5.0)
+        rm = Tensor(np.zeros(2, np.float32))
+        rv = Tensor(np.ones(2, np.float32))
+        F.batch_norm(x, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm.data, x.data.mean(axis=(0, 2, 3)), rtol=1e-4)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        rm = Tensor(np.full(2, 10.0, np.float32))
+        rv = Tensor(np.ones(2, np.float32))
+        out = F.batch_norm(x, rm, rv, training=False).data
+        np.testing.assert_allclose(out, x.data - 10.0, rtol=1e-4, atol=1e-4)
+
+    def test_affine_params_applied(self, rng):
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        rm = Tensor(np.zeros(2, np.float32))
+        rv = Tensor(np.ones(2, np.float32))
+        weight = Tensor(np.full(2, 2.0, np.float32))
+        bias = Tensor(np.full(2, 1.0, np.float32))
+        out = F.batch_norm(x, rm, rv, weight=weight, bias=bias, training=False).data
+        np.testing.assert_allclose(out, x.data * 2 + 1, rtol=1e-3, atol=1e-4)
+
+    def test_batchnorm1d_shape(self, rng):
+        layer = nn.BatchNorm1d(6)
+        out = layer(Tensor(rng.standard_normal((10, 6)).astype(np.float32)))
+        assert out.shape == (10, 6)
+
+
+class TestDropoutAndActivations:
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        out = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_zero_p_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        assert F.dropout(x, p=0.0, training=True) is x
+
+    def test_dropout_preserves_expectation(self):
+        gen = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, p=0.3, training=True, rng=gen).data
+        assert abs(out.mean() - 1.0) < 0.02
+        assert (out == 0).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_dropout_invalid_p(self, rng):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError, match="probability"):
+            F.dropout(x, p=1.5, training=True)
+
+    def test_leaky_relu_forward_and_grad(self, rng):
+        x = Tensor(np.array([-2.0, 3.0], dtype=np.float32), requires_grad=True)
+        out = F.leaky_relu(x, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0], rtol=1e-5)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        targets = np.array([0, 2, 4, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-4)
+
+    def test_cross_entropy_reductions(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        targets = np.array([0, 1, 2, 3])
+        mean = F.cross_entropy(logits, targets, reduction="mean").item()
+        total = F.cross_entropy(logits, targets, reduction="sum").item()
+        none = F.cross_entropy(logits, targets, reduction="none")
+        assert total == pytest.approx(mean * 4, rel=1e-4)
+        assert none.shape == (4,)
+        with pytest.raises(ValueError, match="reduction"):
+            F.cross_entropy(logits, targets, reduction="bogus")
+
+    def test_cross_entropy_label_smoothing_increases_loss_on_confident(self):
+        logits = Tensor(np.array([[10.0, -10.0]], dtype=np.float32))
+        targets = np.array([0])
+        plain = F.cross_entropy(logits, targets).item()
+        smoothed = F.cross_entropy(logits, targets, label_smoothing=0.2).item()
+        assert smoothed > plain
+
+    def test_nll_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        targets = np.array([1, 0, 3])
+        ce = F.cross_entropy(logits, targets).item()
+        nll = F.nll_loss(logits.log_softmax(axis=-1), targets).item()
+        assert ce == pytest.approx(nll, rel=1e-5)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        assert F.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+    def test_bce_with_logits_matches_reference(self, rng):
+        logits = rng.standard_normal(20).astype(np.float32) * 3
+        targets = (rng.random(20) > 0.5).astype(np.float32)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), Tensor(targets)).item()
+        p = 1 / (1 + np.exp(-logits.astype(np.float64)))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-4)
+
+    def test_bce_gradient(self, rng):
+        logits = Tensor(rng.standard_normal(6).astype(np.float32), requires_grad=True)
+        targets = Tensor((rng.random(6) > 0.5).astype(np.float32))
+
+        def fn():
+            return F.binary_cross_entropy_with_logits(logits, targets, reduction="sum")
+
+        fn().backward()
+        assert_grad_close(logits.grad, numerical_gradient(fn, logits))
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)).astype(np.float32),
+                        requires_grad=True)
+        targets = np.array([0, 3, 2])
+
+        def fn():
+            return F.cross_entropy(logits, targets)
+
+        fn().backward()
+        assert_grad_close(logits.grad, numerical_gradient(fn, logits))

@@ -1,0 +1,261 @@
+"""Tests for the Module system, especially the hook machinery the FI tool uses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.tensor import Tensor
+
+
+class Affine(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.ones(3, dtype=np.float32))
+        self.register_buffer("count", Tensor(np.zeros(1, dtype=np.float32)))
+
+    def forward(self, x):
+        return x * self.weight
+
+
+class TestRegistration:
+    def test_parameter_assignment_registers(self):
+        m = Affine()
+        assert "weight" in dict(m.named_parameters())
+
+    def test_plain_tensor_is_not_a_parameter(self):
+        m = Affine()
+        m.scratch = Tensor(np.zeros(2))
+        assert "scratch" not in dict(m.named_parameters())
+
+    def test_submodule_assignment_registers(self):
+        outer = nn.Sequential(nn.Linear(2, 3))
+        assert list(outer.named_children())[0][0] == "0"
+
+    def test_reassignment_replaces(self):
+        m = Affine()
+        m.weight = nn.Parameter(np.zeros(3, dtype=np.float32))
+        assert len(list(m.parameters())) == 1
+        assert m.weight.data.sum() == 0
+
+    def test_delattr_removes_registration(self):
+        m = Affine()
+        del m.weight
+        assert len(list(m.parameters())) == 0
+        with pytest.raises(AttributeError):
+            _ = m.weight
+
+    def test_register_buffer_type_check(self):
+        m = Affine()
+        with pytest.raises(TypeError, match="Tensor or None"):
+            m.register_buffer("bad", np.zeros(3))
+
+    def test_named_parameters_recursion_and_prefixes(self):
+        net = nn.Sequential(nn.Linear(2, 3), nn.Sequential(nn.Linear(3, 4)))
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names
+        assert "1.0.weight" in names
+
+    def test_named_modules_paths(self):
+        net = nn.Sequential(nn.Linear(2, 3), nn.ReLU())
+        names = [n for n, _ in net.named_modules()]
+        assert names == ["", "0", "1"]
+
+    def test_get_submodule(self):
+        net = nn.Sequential(nn.Sequential(nn.Linear(2, 3)))
+        sub = net.get_submodule("0.0")
+        assert isinstance(sub, nn.Linear)
+        with pytest.raises(AttributeError, match="no submodule"):
+            net.get_submodule("0.7")
+
+    def test_num_parameters(self):
+        layer = nn.Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_assignment_before_init_raises(self):
+        class Broken(nn.Module):
+            def __init__(self):
+                self.layer = nn.Linear(2, 2)  # no super().__init__()
+
+        with pytest.raises(AttributeError, match="Module.__init__"):
+            Broken()
+
+
+class TestForwardHooks:
+    def test_hook_observes_output(self, tiny_conv_net):
+        seen = []
+        handle = tiny_conv_net[0].register_forward_hook(
+            lambda mod, inp, out: seen.append(out.shape)
+        )
+        tiny_conv_net(T.randn(1, 3, 16, 16, rng=0))
+        handle.remove()
+        assert seen == [(1, 8, 16, 16)]
+
+    def test_hook_return_replaces_output(self):
+        layer = nn.Linear(2, 2)
+        layer.register_forward_hook(lambda mod, inp, out: out * 0)
+        out = layer(T.randn(1, 2, rng=0))
+        np.testing.assert_array_equal(out.data, np.zeros((1, 2)))
+
+    def test_hook_none_return_keeps_output(self):
+        layer = nn.Linear(2, 2)
+        layer.register_forward_hook(lambda mod, inp, out: None)
+        out = layer(T.ones(1, 2))
+        expected = layer.forward(T.ones(1, 2))
+        np.testing.assert_array_equal(out.data, expected.data)
+
+    def test_hooks_run_in_registration_order(self):
+        layer = nn.Linear(2, 2)
+        order = []
+        layer.register_forward_hook(lambda m, i, o: order.append("first"))
+        layer.register_forward_hook(lambda m, i, o: order.append("second"))
+        layer(T.ones(1, 2))
+        assert order == ["first", "second"]
+
+    def test_chained_hooks_compose_replacement(self):
+        layer = nn.Identity()
+        layer.register_forward_hook(lambda m, i, o: o + 1)
+        layer.register_forward_hook(lambda m, i, o: o * 10)
+        out = layer(T.zeros(1))
+        assert out.item() == 10.0
+
+    def test_remove_is_idempotent(self):
+        layer = nn.Linear(2, 2)
+        handle = layer.register_forward_hook(lambda m, i, o: o * 0)
+        handle.remove()
+        handle.remove()
+        out = layer(T.ones(1, 2))
+        assert np.abs(out.data).sum() > 0 or layer.bias is not None
+
+    def test_handle_as_context_manager(self):
+        layer = nn.Identity()
+        with layer.register_forward_hook(lambda m, i, o: o + 5):
+            assert layer(T.zeros(1)).item() == 5.0
+        assert layer(T.zeros(1)).item() == 0.0
+
+    def test_pre_hook_replaces_inputs(self):
+        layer = nn.Identity()
+        layer.register_forward_pre_hook(lambda mod, inputs: inputs[0] + 3)
+        assert layer(T.zeros(1)).item() == 3.0
+
+    def test_pre_hook_none_keeps_inputs(self):
+        layer = nn.Identity()
+        layer.register_forward_pre_hook(lambda mod, inputs: None)
+        assert layer(T.zeros(1)).item() == 0.0
+
+    def test_hook_sees_gradient_capable_output(self):
+        layer = nn.Linear(2, 2)
+        captured = {}
+
+        def capture(mod, inputs, out):
+            captured["out"] = out
+
+        layer.register_forward_hook(capture)
+        x = T.randn(1, 2, rng=0, requires_grad=True)
+        layer(x).sum().backward()
+        assert captured["out"].requires_grad
+
+
+class TestModeAndState:
+    def test_train_eval_recursive(self, tiny_conv_net):
+        tiny_conv_net.eval()
+        assert all(not m.training for m in tiny_conv_net.modules())
+        tiny_conv_net.train()
+        assert all(m.training for m in tiny_conv_net.modules())
+
+    def test_zero_grad(self, tiny_conv_net):
+        x = T.randn(1, 3, 16, 16, rng=0)
+        tiny_conv_net(x).sum().backward()
+        assert any(p.grad is not None for p in tiny_conv_net.parameters())
+        tiny_conv_net.zero_grad()
+        assert all(p.grad is None for p in tiny_conv_net.parameters())
+
+    def test_state_dict_roundtrip(self, tiny_conv_net):
+        state = tiny_conv_net.state_dict()
+        for p in tiny_conv_net.parameters():
+            p.data[...] = 0.0
+        tiny_conv_net.load_state_dict(state)
+        total = sum(float(np.abs(p.data).sum()) for p in tiny_conv_net.parameters())
+        assert total > 0
+
+    def test_state_dict_is_a_copy(self, tiny_conv_net):
+        state = tiny_conv_net.state_dict()
+        first = next(iter(state))
+        state[first][...] = 123.0
+        assert not np.allclose(dict(tiny_conv_net.named_parameters())[first].data, 123.0)
+
+    def test_load_state_dict_strict_mismatch(self, tiny_conv_net):
+        with pytest.raises(KeyError, match="mismatch"):
+            tiny_conv_net.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = nn.Linear(2, 2)
+        state = {"weight": np.zeros((3, 3)), "bias": np.zeros(2)}
+        with pytest.raises(ValueError, match="shape mismatch"):
+            layer.load_state_dict(state)
+
+    def test_to_dtype(self, tiny_conv_net):
+        tiny_conv_net.half()
+        assert all(p.dtype == np.float16 for p in tiny_conv_net.parameters())
+        tiny_conv_net.float()
+        assert all(p.dtype == np.float32 for p in tiny_conv_net.parameters())
+
+    def test_to_device(self, tiny_conv_net):
+        tiny_conv_net.cuda()
+        assert all(p.device.type == "cuda" for p in tiny_conv_net.parameters())
+        tiny_conv_net.cpu()
+
+    def test_apply(self, tiny_conv_net):
+        visited = []
+        tiny_conv_net.apply(lambda m: visited.append(type(m).__name__))
+        assert "Conv2d" in visited and "Sequential" in visited
+
+
+class TestClone:
+    def test_clone_is_deep(self, tiny_conv_net):
+        clone = tiny_conv_net.clone()
+        clone[0].weight.data[...] = 0.0
+        assert np.abs(tiny_conv_net[0].weight.data).sum() > 0
+
+    def test_clone_drops_hooks(self, tiny_conv_net):
+        tiny_conv_net[0].register_forward_hook(lambda m, i, o: o * 0)
+        clone = tiny_conv_net.clone()
+        x = T.randn(1, 3, 16, 16, rng=0)
+        assert np.abs(clone(x).data).sum() > 0
+        assert len(clone[0]._forward_hooks) == 0
+
+    def test_clone_same_output(self, tiny_conv_net):
+        clone = tiny_conv_net.clone()
+        x = T.randn(2, 3, 16, 16, rng=1)
+        np.testing.assert_allclose(clone(x).data, tiny_conv_net(x).data, rtol=1e-5)
+
+
+class TestContainers:
+    def test_sequential_ordereddict(self):
+        from collections import OrderedDict
+
+        net = nn.Sequential(OrderedDict([("a", nn.Linear(2, 3)), ("b", nn.ReLU())]))
+        assert isinstance(net.get_submodule("a"), nn.Linear)
+
+    def test_sequential_indexing_and_slicing(self, tiny_conv_net):
+        assert isinstance(tiny_conv_net[0], nn.Conv2d)
+        assert isinstance(tiny_conv_net[-1], nn.Linear)
+        sliced = tiny_conv_net[:2]
+        assert isinstance(sliced, nn.Sequential)
+        assert len(sliced) == 2
+
+    def test_sequential_append(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+
+    def test_modulelist(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml[0].parameters())) == 2
+        with pytest.raises(NotImplementedError):
+            ml(T.zeros(1, 2))
+
+    def test_repr_renders_tree(self, tiny_conv_net):
+        text = repr(tiny_conv_net)
+        assert "Conv2d" in text and "Linear" in text

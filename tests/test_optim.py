@@ -1,0 +1,148 @@
+"""Optimizer and LR-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.nn import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def step_quadratic(param, optimizer, steps=60):
+    """Minimise f(x) = x^2 by explicit gradient; returns final |x|."""
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad = 2 * param.data
+        optimizer.step()
+    return abs(float(param.data[0]))
+
+
+class TestSGD:
+    def test_vanilla_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, optim.SGD([p], lr=0.1)) < 1e-3
+
+    def test_momentum_converges(self):
+        p = quadratic_param()
+        final = step_quadratic(p, optim.SGD([p], lr=0.02, momentum=0.9), steps=200)
+        assert final < 1e-2
+
+    def test_momentum_faster_than_vanilla_initially(self):
+        plain = quadratic_param()
+        heavy = quadratic_param()
+        opt_plain = optim.SGD([plain], lr=0.01)
+        opt_heavy = optim.SGD([heavy], lr=0.01, momentum=0.9)
+        step_quadratic(plain, opt_plain, steps=25)
+        step_quadratic(heavy, opt_heavy, steps=25)
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="nesterov"):
+            optim.SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            optim.SGD([quadratic_param()], lr=-1)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            optim.SGD([], lr=0.1)
+
+    def test_none_grad_skipped(self):
+        p = quadratic_param()
+        before = p.data.copy()
+        optim.SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, optim.Adam([p], lr=0.2), steps=120) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.Adam([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # With bias correction the first step is ~lr regardless of betas.
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-4)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            optim.Adam([quadratic_param()], betas=(1.0, 0.999))
+
+    def test_trains_a_real_layer(self, rng):
+        layer = nn.Linear(4, 1, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((32, 4)).astype(np.float32))
+        target = Tensor((x.data @ np.array([1.0, -2.0, 0.5, 3.0], np.float32))[:, None])
+        opt = optim.Adam(layer.parameters(), lr=0.05)
+        first = None
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ((layer(x) - target) ** 2).mean()
+            loss.backward()
+            opt.step()
+            first = loss.item() if first is None else first
+        assert loss.item() < first * 0.05
+
+
+class TestSchedulers:
+    def _opt(self):
+        return optim.SGD([quadratic_param()], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        opt = self._opt()
+        sched = optim.MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = optim.CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        assert sched.get_lr(0) == pytest.approx(1.0)
+        assert sched.get_lr(5) == pytest.approx(0.5)
+        assert sched.get_lr(10) == pytest.approx(0.0, abs=1e-9)
+        assert sched.get_lr(15) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = optim.CosineAnnealingLR(opt, t_max=8)
+        values = [sched.get_lr(i) for i in range(9)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_linear_ramp(self):
+        opt = self._opt()
+        sched = optim.LinearRampLR(opt, ramp_epochs=4, start_factor=0.0)
+        assert sched.get_lr(0) == pytest.approx(0.0)
+        assert sched.get_lr(2) == pytest.approx(0.5)
+        assert sched.get_lr(4) == pytest.approx(1.0)
+        assert sched.get_lr(9) == pytest.approx(1.0)
+
+    def test_lambda_lr(self):
+        opt = self._opt()
+        sched = optim.LambdaLR(opt, lambda epoch: 1.0 / (epoch + 1))
+        assert sched.get_lr(3) == pytest.approx(0.25)

@@ -1,0 +1,61 @@
+"""Tests for the runtime-overhead measurement harness (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.perf import OverheadMeasurement, measure_overhead, sweep_batch_sizes, time_inference
+
+
+class TestTimeInference:
+    def test_returns_positive_stats(self, tiny_conv_net):
+        x = T.randn(1, 3, 16, 16, rng=0)
+        mean, std = time_inference(tiny_conv_net, x, trials=3, warmup=1)
+        assert mean > 0
+        assert std >= 0
+
+    def test_restores_training_mode(self, tiny_conv_net):
+        tiny_conv_net.train()
+        time_inference(tiny_conv_net, T.randn(1, 3, 16, 16, rng=0), trials=1, warmup=0)
+        assert tiny_conv_net.training
+
+
+class TestMeasureOverhead:
+    def test_measurement_fields(self, tiny_conv_net):
+        m = measure_overhead(tiny_conv_net, (3, 16, 16), trials=3, warmup=1,
+                             network="tiny", dataset="unit", rng=0)
+        assert isinstance(m, OverheadMeasurement)
+        assert m.network == "tiny"
+        assert m.base_mean_s > 0 and m.fi_mean_s > 0
+        assert m.batch_size == 1
+
+    def test_overhead_is_small_relative_to_inference(self, tiny_conv_net):
+        m = measure_overhead(tiny_conv_net, (3, 16, 16), trials=10, warmup=2, rng=1)
+        # The injection hook is one gather+scatter; allow generous noise
+        # margins but catch anything pathological (e.g. per-call deepcopy).
+        assert m.fi_mean_s < m.base_mean_s * 3
+
+    def test_no_hooks_left_after_measurement(self, tiny_conv_net):
+        measure_overhead(tiny_conv_net, (3, 16, 16), trials=2, warmup=0, rng=2)
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_cuda_device_path(self, tiny_conv_net):
+        m = measure_overhead(tiny_conv_net, (3, 16, 16), trials=2, warmup=0,
+                             device="cuda", rng=3)
+        assert m.device == "cuda"
+
+    def test_str_contains_overhead(self, tiny_conv_net):
+        m = measure_overhead(tiny_conv_net, (3, 16, 16), trials=2, warmup=0, rng=4)
+        assert "overhead" in str(m)
+
+
+class TestBatchSweep:
+    def test_sweep_covers_requested_batches(self, tiny_conv_net):
+        measurements = sweep_batch_sizes(tiny_conv_net, (3, 16, 16),
+                                         batch_sizes=(1, 2), trials=2, rng=5)
+        assert [m.batch_size for m in measurements] == [1, 2]
+
+    def test_larger_batches_take_longer(self, tiny_conv_net):
+        measurements = sweep_batch_sizes(tiny_conv_net, (3, 16, 16),
+                                         batch_sizes=(1, 16), trials=4, rng=6)
+        assert measurements[1].base_mean_s > measurements[0].base_mean_s

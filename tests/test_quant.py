@@ -1,0 +1,108 @@
+"""INT8 quantization tests (observer, calibration, quantized execution)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.core import FaultInjection
+from repro.quant import ActivationObserver, QuantizedExecution, calibrate, quantize_dequantize
+
+
+@pytest.fixture
+def fi(tiny_conv_net):
+    return FaultInjection(tiny_conv_net, batch_size=4, input_shape=(3, 16, 16), rng=0)
+
+
+class TestObserver:
+    def test_observes_peak_per_layer(self, fi):
+        images = np.random.default_rng(0).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        observer = ActivationObserver(fi).observe(images)
+        assert observer.max_abs.shape == (fi.num_layers,)
+        assert (observer.max_abs > 0).all()
+
+    def test_peak_is_max_over_batches(self, fi):
+        rng = np.random.default_rng(1)
+        observer = ActivationObserver(fi)
+        observer.observe(rng.standard_normal((4, 3, 16, 16)).astype(np.float32))
+        first = observer.max_abs.copy()
+        observer.observe(10 * rng.standard_normal((4, 3, 16, 16)).astype(np.float32))
+        assert (observer.max_abs >= first).all()
+
+    def test_observer_leaves_no_hooks(self, fi, tiny_conv_net):
+        ActivationObserver(fi).observe(np.zeros((4, 3, 16, 16), dtype=np.float32))
+        assert all(len(m._forward_hooks) == 0 for m in tiny_conv_net.modules())
+
+    def test_params_scale_maps_peak_to_qmax(self, fi):
+        images = np.random.default_rng(2).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        observer = ActivationObserver(fi).observe(images)
+        params = observer.params(bits=8)
+        for peak, p in zip(observer.max_abs, params):
+            assert p.scale == pytest.approx(peak / 127)
+
+    def test_zero_activation_layer_gets_default_scale(self, fi):
+        params = ActivationObserver(fi).params()
+        assert all(p.scale > 0 for p in params)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bound(self, fi):
+        images = np.random.default_rng(3).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        params = calibrate(fi, images)
+        values = np.linspace(-1, 1, 100).astype(np.float32)
+        out = quantize_dequantize(values, params[0])
+        assert np.abs(out - values).max() <= params[0].scale / 2 + 1e-6
+
+    def test_idempotent(self, fi):
+        images = np.random.default_rng(4).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        params = calibrate(fi, images)
+        values = np.random.default_rng(5).standard_normal(50).astype(np.float32)
+        once = quantize_dequantize(values, params[0])
+        twice = quantize_dequantize(once, params[0])
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+class TestQuantizedExecution:
+    def test_output_changes_but_stays_close(self, fi, tiny_conv_net):
+        images = np.random.default_rng(6).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        params = calibrate(fi, images)
+        x = T.Tensor(images)
+        tiny_conv_net.eval()
+        clean = tiny_conv_net(x).data.copy()
+        clone = tiny_conv_net.clone()
+        qexec = QuantizedExecution(fi, params)
+        qexec.attach(clone)
+        quantized = clone(x).data
+        qexec.detach()
+        assert not np.array_equal(clean, quantized)
+        # INT8 round-off should not change predictions on clear inputs.
+        assert np.abs(clean - quantized).max() < 0.5 * np.abs(clean).max() + 1.0
+
+    def test_detach_restores(self, fi, tiny_conv_net):
+        params = calibrate(fi, np.zeros((4, 3, 16, 16), dtype=np.float32))
+        clone = tiny_conv_net.clone()
+        with QuantizedExecution(fi, params) as qexec:
+            qexec.attach(clone)
+        assert all(len(m._forward_hooks) == 0 for m in clone.modules())
+
+    def test_wrong_param_count(self, fi):
+        with pytest.raises(ValueError, match="per layer"):
+            QuantizedExecution(fi, [])
+
+    def test_composes_with_injection(self, fi, tiny_conv_net):
+        """Quantize-dequantize first, then injection flips the quantized value."""
+        images = np.random.default_rng(7).standard_normal((4, 3, 16, 16)).astype(np.float32)
+        params = calibrate(fi, images)
+        clone = tiny_conv_net.clone()
+        qexec = QuantizedExecution(fi, params)
+        qexec.attach(clone)
+        modules = [m for m in clone.modules() if isinstance(m, nn.Conv2d)]
+        captured = {}
+        modules[0].register_forward_hook(
+            lambda m, i, o: captured.__setitem__("first", o.data.copy())
+        )
+        clone(T.Tensor(images))
+        qexec.detach()
+        # Every surviving activation is on the INT8 grid of layer 0.
+        grid = captured["first"] / params[0].scale
+        np.testing.assert_allclose(grid, np.round(grid), atol=1e-3)

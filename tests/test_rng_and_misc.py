@@ -1,0 +1,138 @@
+"""RNG management, layer-module, and miscellaneous coverage."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.tensor import rng as _rng
+
+
+class TestRngManagement:
+    def test_manual_seed_resets_stream(self):
+        T.manual_seed(42)
+        a = T.randn(5).data
+        T.manual_seed(42)
+        b = T.randn(5).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_without_seed_is_deterministic_after_manual_seed(self):
+        T.manual_seed(7)
+        a = _rng.spawn().standard_normal(3)
+        T.manual_seed(7)
+        b = _rng.spawn().standard_normal(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_with_seed(self):
+        a = _rng.spawn(9).standard_normal(3)
+        b = _rng.spawn(9).standard_normal(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_coerce_generator_variants(self):
+        gen = np.random.default_rng(0)
+        assert _rng.coerce_generator(gen) is gen
+        assert isinstance(_rng.coerce_generator(5), np.random.Generator)
+        assert _rng.coerce_generator(None) is _rng.default_generator()
+        with pytest.raises(TypeError):
+            _rng.coerce_generator("seed")
+
+    def test_integer_seeds_reproducible(self):
+        a = _rng.coerce_generator(11).random(4)
+        b = _rng.coerce_generator(11).random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLayerModules:
+    def test_softmax_module(self):
+        layer = nn.Softmax(dim=1)
+        out = layer(T.randn(2, 5, rng=0))
+        np.testing.assert_allclose(out.data.sum(axis=1), [1, 1], rtol=1e-5)
+
+    def test_activation_modules_forward(self):
+        x = T.randn(2, 4, rng=1)
+        for layer in (nn.ReLU(), nn.LeakyReLU(0.2), nn.Sigmoid(), nn.Tanh()):
+            assert layer(x).shape == x.shape
+
+    def test_identity(self):
+        x = T.randn(3, rng=2)
+        assert nn.Identity()(x) is x
+
+    def test_flatten_module(self):
+        assert nn.Flatten()(T.zeros(2, 3, 4)).shape == (2, 12)
+
+    def test_upsample_module(self):
+        layer = nn.Upsample(scale_factor=2)
+        assert layer(T.zeros(1, 2, 3, 3)).shape == (1, 2, 6, 6)
+        with pytest.raises(NotImplementedError):
+            nn.Upsample(mode="bilinear")
+
+    def test_adaptive_pool_module(self):
+        layer = nn.AdaptiveAvgPool2d(1)
+        assert layer(T.zeros(1, 3, 8, 8)).shape == (1, 3, 1, 1)
+
+    def test_global_pool_module(self):
+        layer = nn.GlobalAvgPool2d()
+        assert layer(T.zeros(2, 5, 4, 4)).shape == (2, 5, 1, 1)
+
+    def test_dropout_module_respects_mode(self):
+        layer = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        x = T.ones(64, 64)
+        layer.train()
+        assert (layer(x).data == 0).mean() > 0.5
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_conv_constructor_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            nn.Conv2d(3, 4, 3, groups=2)
+        with pytest.raises(ValueError, match="divisible"):
+            nn.Conv2d(4, 3, 3, groups=2)
+
+    def test_layer_reprs(self):
+        assert "kernel_size" in repr(nn.Conv2d(1, 2, 3))
+        assert "in_features=4" in repr(nn.Linear(4, 2))
+        assert "p=0.3" in repr(nn.Dropout(0.3))
+        assert "negative_slope" in repr(nn.LeakyReLU(0.1))
+
+    def test_loss_modules_wrap_functional(self):
+        logits = T.randn(4, 3, rng=3)
+        labels = np.array([0, 1, 2, 0])
+        assert np.isfinite(nn.CrossEntropyLoss()(logits, labels).item())
+        assert np.isfinite(
+            nn.NLLLoss()(logits.log_softmax(axis=-1), labels).item()
+        )
+        assert np.isfinite(nn.MSELoss()(logits, T.zeros(4, 3)).item())
+        targets = T.Tensor((np.arange(12).reshape(4, 3) % 2).astype(np.float32))
+        assert np.isfinite(nn.BCEWithLogitsLoss()(logits, targets).item())
+
+
+class TestInitSchemes:
+    def test_kaiming_normal_scale(self):
+        weight = T.zeros(256, 128, 3, 3)
+        nn.init.kaiming_normal_(weight, rng=np.random.default_rng(0))
+        fan_in = 128 * 9
+        expected_std = np.sqrt(2.0 / fan_in)
+        assert weight.data.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_xavier_uniform_bounds(self):
+        weight = T.zeros(64, 64)
+        nn.init.xavier_uniform_(weight, rng=np.random.default_rng(1))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(weight.data).max() <= bound + 1e-6
+
+    def test_constant_inits(self):
+        weight = T.zeros(4, 4)
+        nn.init.ones_(weight)
+        assert (weight.data == 1).all()
+        nn.init.zeros_(weight)
+        assert (weight.data == 0).all()
+        nn.init.constant_(weight, 3.5)
+        assert (weight.data == 3.5).all()
+
+    def test_fan_requires_2d(self):
+        with pytest.raises(ValueError, match="fan"):
+            nn.init.kaiming_normal_(T.zeros(5))
+
+    def test_unsupported_nonlinearity(self):
+        with pytest.raises(ValueError, match="nonlinearity"):
+            nn.init.kaiming_normal_(T.zeros(4, 4), nonlinearity="swish")

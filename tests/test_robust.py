@@ -1,0 +1,160 @@
+"""Tests for IBP training and FI-in-training-loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import models, nn
+from repro import tensor as T
+from repro.data import SyntheticClassification
+from repro.robust import (
+    Curriculum,
+    TrainingInjector,
+    ibp_bounds,
+    ibp_loss,
+    train_ibp,
+    train_with_injection,
+    worst_case_logits,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def alexnet_small():
+    return models.alexnet(num_classes=4, input_size=32, width_mult=0.125,
+                          rng=np.random.default_rng(0))
+
+
+class TestIBPBounds:
+    def test_bounds_contain_clean_output(self, alexnet_small):
+        alexnet_small.eval()
+        x = T.randn(3, 3, 32, 32, rng=1)
+        logits = alexnet_small(x)
+        lower, upper = ibp_bounds(alexnet_small, x, eps=0.05)
+        assert (lower.data <= logits.data + 1e-4).all()
+        assert (logits.data <= upper.data + 1e-4).all()
+
+    def test_zero_eps_bounds_are_tight(self, alexnet_small):
+        alexnet_small.eval()
+        x = T.randn(2, 3, 32, 32, rng=2)
+        logits = alexnet_small(x)
+        lower, upper = ibp_bounds(alexnet_small, x, eps=0.0)
+        np.testing.assert_allclose(lower.data, logits.data, rtol=1e-4, atol=1e-4)
+        np.testing.assert_allclose(upper.data, logits.data, rtol=1e-4, atol=1e-4)
+
+    def test_bounds_widen_with_eps(self, alexnet_small):
+        alexnet_small.eval()
+        x = T.randn(2, 3, 32, 32, rng=3)
+        narrow = ibp_bounds(alexnet_small, x, eps=0.01)
+        wide = ibp_bounds(alexnet_small, x, eps=0.1)
+        narrow_gap = (narrow[1].data - narrow[0].data).mean()
+        wide_gap = (wide[1].data - wide[0].data).mean()
+        assert wide_gap > narrow_gap
+
+    @given(st.floats(min_value=0.0, max_value=0.2, allow_nan=False))
+    @settings(max_examples=10, deadline=None)
+    def test_bounds_sound_for_sampled_points(self, eps):
+        """Any input inside the eps-ball must land inside the logit bounds."""
+        gen = np.random.default_rng(4)
+        net = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=gen), nn.ReLU(),
+            nn.MaxPool2d(2), nn.Flatten(), nn.Linear(4 * 4 * 4, 3, rng=gen),
+        )
+        net.eval()
+        x = T.Tensor(gen.standard_normal((1, 1, 8, 8)).astype(np.float32))
+        lower, upper = ibp_bounds(net, x, eps)
+        for _ in range(5):
+            delta = gen.uniform(-eps, eps, size=x.shape).astype(np.float32)
+            out = net(T.Tensor(x.data + delta)).data
+            assert (out >= lower.data - 1e-3).all()
+            assert (out <= upper.data + 1e-3).all()
+
+    def test_unsupported_layer_raises(self):
+        net = nn.Sequential(nn.BatchNorm2d(3))
+        with pytest.raises(NotImplementedError):
+            ibp_bounds(net, T.randn(1, 3, 4, 4, rng=0), 0.1)
+
+
+class TestWorstCase:
+    def test_true_class_takes_lower_bound(self):
+        lower = Tensor(np.array([[0.0, 0.0]], dtype=np.float32))
+        upper = Tensor(np.array([[1.0, 1.0]], dtype=np.float32))
+        worst = worst_case_logits(lower, upper, np.array([0]))
+        np.testing.assert_array_equal(worst.data, [[0.0, 1.0]])
+
+    def test_worst_case_loss_at_least_natural(self, alexnet_small):
+        alexnet_small.eval()
+        x = T.randn(4, 3, 32, 32, rng=5)
+        labels = np.array([0, 1, 2, 3])
+        natural, _ = ibp_loss(alexnet_small, x, labels, eps=0.0, alpha=0.0)
+        robust, _ = ibp_loss(alexnet_small, x, labels, eps=0.1, alpha=1.0)
+        assert robust.item() >= natural.item() - 1e-5
+
+
+class TestCurriculum:
+    def test_ramp_endpoints(self):
+        curriculum = Curriculum(eps_max=0.5, alpha_max=0.25, ramp_start=10, ramp_end=20)
+        assert curriculum.at(0) == (0.0, 0.0)
+        assert curriculum.at(10) == (0.0, 0.0)
+        eps, alpha = curriculum.at(15)
+        assert eps == pytest.approx(0.25)
+        assert alpha == pytest.approx(0.125)
+        assert curriculum.at(20) == (0.5, 0.25)
+        assert curriculum.at(100) == (0.5, 0.25)
+
+    def test_ramp_monotone(self):
+        curriculum = Curriculum(1.0, 1.0, ramp_start=0, ramp_end=50)
+        values = [curriculum.at(i)[0] for i in range(0, 60, 5)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestIBPTraining:
+    def test_short_run_returns_finite(self, alexnet_small):
+        dataset = SyntheticClassification(4, 32, seed=7, noise=0.3)
+        result = train_ibp(alexnet_small, dataset, eps_max=0.05, alpha_max=0.1,
+                           epochs=1, train_per_class=8, test_per_class=4, seed=8)
+        assert np.isfinite(result.final_loss)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_zero_eps_reduces_to_standard_training(self):
+        dataset = SyntheticClassification(4, 32, seed=9, noise=0.3)
+        gen = np.random.default_rng(1)
+        net = models.alexnet(num_classes=4, input_size=32, width_mult=0.125, rng=gen)
+        result = train_ibp(net, dataset, eps_max=0.0, alpha_max=0.0, epochs=6,
+                           train_per_class=48, test_per_class=8, seed=10)
+        assert result.test_accuracy > 0.5
+
+
+class TestTrainingInjector:
+    def test_injector_installs_fresh_hooks_each_step(self, alexnet_small):
+        injector = TrainingInjector(alexnet_small, batch_size=4, input_shape=(3, 32, 32),
+                                    rng=0)
+        injector(alexnet_small, epoch=0, step=0)
+        convs = [m for m in alexnet_small.modules() if isinstance(m, nn.Conv2d)]
+        assert sum(len(m._forward_hooks) for m in convs) == len(convs)
+        injector(alexnet_small, epoch=0, step=1)
+        assert sum(len(m._forward_hooks) for m in convs) == len(convs)
+        injector.remove()
+        assert sum(len(m._forward_hooks) for m in convs) == 0
+
+    def test_train_with_injection_converges(self):
+        dataset = SyntheticClassification(4, 16, seed=11, noise=0.3)
+        gen = np.random.default_rng(2)
+        net = nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1, rng=gen), nn.ReLU(), nn.MaxPool2d(2),
+            nn.Conv2d(8, 8, 3, padding=1, rng=gen), nn.ReLU(), nn.MaxPool2d(2),
+            nn.Flatten(), nn.Linear(8 * 4 * 4, 4, rng=gen),
+        )
+        result = train_with_injection(net, dataset, epochs=4, train_per_class=24,
+                                      test_per_class=8, seed=12, rng=13)
+        assert result.test_accuracy > 0.6
+        assert all(len(m._forward_hooks) == 0 for m in net.modules())
+
+    def test_injection_training_leaves_gradients_finite(self, alexnet_small):
+        dataset = SyntheticClassification(4, 32, seed=14, noise=0.3)
+        result = train_with_injection(alexnet_small, dataset, epochs=1,
+                                      train_per_class=8, test_per_class=4, seed=15,
+                                      rng=16)
+        for param in alexnet_small.parameters():
+            assert np.isfinite(param.data).all()

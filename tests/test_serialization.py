@@ -1,0 +1,59 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.nn import checkpoint_info, load_model, save_model
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_outputs(self, tiny_conv_net, tmp_path):
+        path = save_model(tiny_conv_net, tmp_path / "net.npz",
+                          metadata={"note": "unit"})
+        clone = tiny_conv_net.clone()
+        for p in clone.parameters():
+            p.data[...] = 0.0
+        meta = load_model(clone, path)
+        assert meta == {"note": "unit"}
+        x = T.randn(1, 3, 16, 16, rng=0)
+        np.testing.assert_allclose(clone(x).data, tiny_conv_net(x).data, rtol=1e-5)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        gen = np.random.default_rng(0)
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.BatchNorm2d(4))
+        net.train()
+        net(T.randn(8, 3, 8, 8, rng=1))  # update running stats
+        path = save_model(net, tmp_path / "bn")
+        fresh = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.BatchNorm2d(4))
+        load_model(fresh, path)
+        np.testing.assert_allclose(
+            fresh.get_submodule("1").running_mean.data,
+            net.get_submodule("1").running_mean.data,
+        )
+
+    def test_suffix_added(self, tiny_conv_net, tmp_path):
+        path = save_model(tiny_conv_net, tmp_path / "plain")
+        assert str(path).endswith(".npz")
+
+    def test_checkpoint_info(self, tiny_conv_net, tmp_path):
+        path = save_model(tiny_conv_net, tmp_path / "net", metadata={"epochs": 3})
+        info = checkpoint_info(path)
+        assert info["model_class"] == "Sequential"
+        assert info["num_parameters"] == tiny_conv_net.num_parameters()
+        assert info["user"] == {"epochs": 3}
+
+    def test_non_checkpoint_rejected(self, tiny_conv_net, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_model(tiny_conv_net, bogus)
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            checkpoint_info(bogus)
+
+    def test_strict_mismatch_raises(self, tiny_conv_net, tmp_path):
+        path = save_model(tiny_conv_net, tmp_path / "net")
+        other = nn.Sequential(nn.Linear(3, 2))
+        with pytest.raises(KeyError, match="mismatch"):
+            load_model(other, path)

@@ -1,0 +1,282 @@
+"""Gradient correctness of the autograd engine (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, no_grad
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+def _leaf(rng, *shape, scale=1.0):
+    return Tensor((rng.standard_normal(shape) * scale).astype(np.float32),
+                  requires_grad=True)
+
+
+class TestBasics:
+    def test_backward_accumulates_into_leaf(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (x * 3).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_backward_requires_grad(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            x.backward()
+
+    def test_non_scalar_backward_needs_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (x * 2).backward()
+        (x * 2).backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2, 2, 2])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_enable_grad_inside_no_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            with T.enable_grad():
+                y = x * 2
+        assert y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_retain_grad_on_intermediate(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        mid = x * 2
+        mid.retain_grad()
+        (mid * 3).sum().backward()
+        np.testing.assert_allclose(mid.grad, [3, 3, 3])
+
+    def test_intermediate_grad_not_kept_by_default(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        mid = x * 2
+        mid.sum().backward()
+        assert mid.grad is None
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        y = x * 2
+        z = (y + y * y).sum()  # dz/dx = 2 + 8x = 26 at x=3
+        z.backward()
+        np.testing.assert_allclose(x.grad, [26.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 1])
+
+
+class TestOpGradients:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda x: (x * x).sum(),
+            lambda x: (x + 2 * x).sum(),
+            lambda x: (x / 3.0).sum(),
+            lambda x: (x**3).sum(),
+            lambda x: x.exp().sum(),
+            lambda x: x.tanh().sum(),
+            lambda x: x.sigmoid().sum(),
+            lambda x: x.relu().sum(),
+            lambda x: x.abs().sum(),
+            lambda x: x.mean(),
+            lambda x: x.var(),
+            lambda x: x.softmax(axis=-1).max(),
+            lambda x: x.log_softmax(axis=-1).sum(),
+            lambda x: x.reshape(6).sum(),
+            lambda x: x.transpose(0, 1).sum(),
+            lambda x: (x.clip(-0.5, 0.5) * 2).sum(),
+        ],
+        ids=["mul", "add", "div", "pow", "exp", "tanh", "sigmoid", "relu", "abs",
+             "mean", "var", "softmax", "log_softmax", "reshape", "transpose", "clip"],
+    )
+    def test_elementwise_ops(self, rng, op):
+        x = _leaf(rng, 2, 3)
+        op(x).backward()
+        numeric = numerical_gradient(lambda: op(x), x)
+        assert_grad_close(x.grad, numeric)
+
+    def test_log_sqrt_on_positive(self, rng):
+        x = Tensor(np.abs(rng.standard_normal((2, 3))).astype(np.float32) + 0.5,
+                   requires_grad=True)
+        (x.log() + x.sqrt()).sum().backward()
+        numeric = numerical_gradient(lambda: (x.log() + x.sqrt()).sum(), x)
+        assert_grad_close(x.grad, numeric)
+
+    def test_broadcast_add_grad(self, rng):
+        a = _leaf(rng, 2, 3)
+        b = _leaf(rng, 3)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.full(3, 2.0))
+
+    def test_broadcast_mul_grad(self, rng):
+        a = _leaf(rng, 2, 3)
+        b = _leaf(rng, 1, 3)
+        mask = rng.standard_normal((2, 3)).astype(np.float32)
+
+        def fn():
+            return ((a * b) * Tensor(mask)).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_matmul_grads(self, rng):
+        a = _leaf(rng, 3, 4)
+        b = _leaf(rng, 4, 2)
+
+        def fn():
+            return ((a @ b) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_batched_matmul_grads(self, rng):
+        a = _leaf(rng, 2, 3, 4)
+        b = _leaf(rng, 2, 4, 2)
+
+        def fn():
+            return ((a @ b) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_matvec_grads(self, rng):
+        a = _leaf(rng, 3, 4)
+        v = _leaf(rng, 4)
+
+        def fn():
+            return ((a @ v) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(v.grad, numerical_gradient(fn, v))
+
+    def test_maximum_grads(self, rng):
+        a = _leaf(rng, 5)
+        b = _leaf(rng, 5)
+
+        def fn():
+            return a.maximum(b).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_reduction_grads_with_axis(self, rng):
+        x = _leaf(rng, 3, 4)
+        mask = rng.standard_normal(4).astype(np.float32)
+
+        def fn():
+            return (x.sum(axis=0) * Tensor(mask)).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+
+    def test_max_reduction_grad(self, rng):
+        x = _leaf(rng, 3, 4)
+
+        def fn():
+            return x.max(axis=1).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+
+    def test_getitem_grad(self, rng):
+        x = _leaf(rng, 4, 5)
+        idx = (np.array([0, 2, 2]), np.array([1, 3, 3]))
+
+        def fn():
+            return (x[idx] ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+
+    def test_cat_grads(self, rng):
+        a = _leaf(rng, 2, 2)
+        b = _leaf(rng, 2, 3)
+        mask = rng.standard_normal((2, 5)).astype(np.float32)
+
+        def fn():
+            return (T.cat([a, b], axis=1) * Tensor(mask)).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_stack_grads(self, rng):
+        a = _leaf(rng, 3)
+        b = _leaf(rng, 3)
+
+        def fn():
+            return (T.stack([a, b]) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+
+    def test_pad2d_grad(self, rng):
+        x = _leaf(rng, 1, 1, 3, 3)
+
+        def fn():
+            return (x.pad2d((1, 1, 1, 1)) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(x.grad, numerical_gradient(fn, x))
+
+    def test_where_grads(self, rng):
+        a = _leaf(rng, 6)
+        b = _leaf(rng, 6)
+        cond = rng.random(6) > 0.5
+
+        def fn():
+            return (T.where(Tensor(cond), a, b) ** 2).sum()
+
+        fn().backward()
+        assert_grad_close(a.grad, numerical_gradient(fn, a))
+        assert_grad_close(b.grad, numerical_gradient(fn, b))
+
+    def test_astype_grad_roundtrip(self, rng):
+        x = _leaf(rng, 4)
+        x.astype("float64").sum().backward()
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(x.grad, np.ones(4))
+
+
+class TestInjectValues:
+    def test_values_replaced_and_original_untouched(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        y = x.inject_values((np.array([0, 1]), np.array([2, 0])), [10.0, 20.0])
+        assert y.data[0, 2] == 10.0
+        assert y.data[1, 0] == 20.0
+        assert x.data[0, 2] == 2.0
+
+    def test_straight_through_gradient(self):
+        x = Tensor(np.zeros((2, 3), dtype=np.float32), requires_grad=True)
+        y = x.inject_values((np.array([0]), np.array([0])), [5.0])
+        (y * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3), 2.0))
+
+    def test_grad_flows_through_downstream_ops(self):
+        x = Tensor(np.full((2, 2), -1.0, dtype=np.float32), requires_grad=True)
+        y = x.inject_values((np.array([0]), np.array([0])), [3.0]).relu()
+        y.sum().backward()
+        # ReLU mask comes from the *injected* tensor: only (0,0) is positive.
+        np.testing.assert_allclose(x.grad, [[1, 0], [0, 0]])

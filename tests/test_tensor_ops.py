@@ -1,0 +1,279 @@
+"""Unit tests for forward semantics of the tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor
+
+
+class TestCreation:
+    def test_tensor_copies_input(self):
+        data = np.ones((2, 3), dtype=np.float32)
+        t = T.tensor(data)
+        data[0, 0] = 5.0
+        assert t.data[0, 0] == 1.0
+
+    def test_from_numpy_shares_memory(self):
+        data = np.ones((2, 3), dtype=np.float32)
+        t = T.from_numpy(data)
+        data[0, 0] = 5.0
+        assert t.data[0, 0] == 5.0
+
+    def test_float64_downcast_to_float32(self):
+        t = Tensor(np.zeros((2,), dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_respected(self):
+        t = Tensor([1, 2, 3], dtype="float64")
+        assert t.dtype == np.float64
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(ValueError, match="floating-point"):
+            Tensor(np.array([1, 2]), requires_grad=True)
+
+    def test_zeros_ones_full(self):
+        assert T.zeros(2, 3).data.sum() == 0
+        assert T.ones(2, 3).data.sum() == 6
+        assert (T.full((2, 2), 7.0).data == 7).all()
+
+    def test_factory_accepts_shape_tuple(self):
+        assert T.zeros((4, 5)).shape == (4, 5)
+        assert T.randn((2, 2)).shape == (2, 2)
+
+    def test_arange(self):
+        np.testing.assert_array_equal(T.arange(5).data, np.arange(5))
+
+    def test_randn_deterministic_with_seed(self):
+        a = T.randn(4, rng=42).data
+        b = T.randn(4, rng=42).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_zeros_like_matches_shape_and_device(self):
+        t = Tensor(np.ones((3, 2)), device="cuda")
+        z = T.zeros_like(t)
+        assert z.shape == (3, 2)
+        assert z.device.type == "cuda"
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32))
+        b = Tensor(np.arange(3, dtype=np.float32))
+        np.testing.assert_array_equal((a + b).data, np.ones((2, 3)) + np.arange(3))
+
+    def test_scalar_arithmetic(self):
+        a = Tensor(np.array([2.0, 4.0], dtype=np.float32))
+        np.testing.assert_array_equal((a + 1).data, [3, 5])
+        np.testing.assert_array_equal((1 + a).data, [3, 5])
+        np.testing.assert_array_equal((a - 1).data, [1, 3])
+        np.testing.assert_array_equal((10 - a).data, [8, 6])
+        np.testing.assert_array_equal((a * 2).data, [4, 8])
+        np.testing.assert_array_equal((a / 2).data, [1, 2])
+        np.testing.assert_array_equal((8 / a).data, [4, 2])
+
+    def test_neg_and_pow(self):
+        a = Tensor(np.array([1.0, -2.0], dtype=np.float32))
+        np.testing.assert_array_equal((-a).data, [-1, 2])
+        np.testing.assert_array_equal((a**2).data, [1, 4])
+
+    def test_matmul_2d(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-5)
+
+    def test_matmul_batched(self, rng):
+        a = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-5)
+
+    def test_maximum_minimum(self):
+        a = Tensor(np.array([1.0, 5.0], dtype=np.float32))
+        b = Tensor(np.array([3.0, 2.0], dtype=np.float32))
+        np.testing.assert_array_equal(a.maximum(b).data, [3, 5])
+        np.testing.assert_array_equal(a.minimum(b).data, [1, 2])
+
+    def test_comparisons_return_bool_tensors(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        result = a > 1.5
+        assert result.dtype == np.bool_
+        np.testing.assert_array_equal(result.data, [False, True, True])
+        np.testing.assert_array_equal((a == 2.0).data, [False, True, False])
+
+    def test_where(self):
+        cond = Tensor(np.array([True, False]))
+        out = T.where(cond, Tensor(np.array([1.0, 1.0])), Tensor(np.array([2.0, 2.0])))
+        np.testing.assert_array_equal(out.data, [1, 2])
+
+
+class TestUnary:
+    def test_exp_log_roundtrip(self, rng):
+        x = np.abs(rng.standard_normal(5)).astype(np.float32) + 0.1
+        t = Tensor(x)
+        np.testing.assert_allclose(t.exp().log().data, x, rtol=1e-5)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor(np.array([4.0, 9.0])).sqrt().data, [2, 3])
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            Tensor(np.array([-1.0, 0.0, 2.0])).relu().data, [0, 0, 2]
+        )
+
+    def test_sigmoid_tanh_ranges(self, rng):
+        # At float32 precision sigmoid saturates to exactly 0/1 for |x| >~ 17.
+        x = Tensor(rng.standard_normal(100).astype(np.float32) * 10)
+        assert ((x.sigmoid().data >= 0) & (x.sigmoid().data <= 1)).all()
+        assert ((x.tanh().data >= -1) & (x.tanh().data <= 1)).all()
+        mid = Tensor(np.array([0.0], dtype=np.float32))
+        assert mid.sigmoid().item() == pytest.approx(0.5)
+
+    def test_abs(self):
+        np.testing.assert_array_equal(Tensor(np.array([-3.0, 2.0])).abs().data, [3, 2])
+
+    def test_clip(self):
+        out = Tensor(np.array([-5.0, 0.5, 5.0])).clip(-1, 1)
+        np.testing.assert_array_equal(out.data, [-1, 0.5, 1])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.sum().data, x.sum(), rtol=1e-5)
+        np.testing.assert_allclose(t.sum(axis=1).data, x.sum(axis=1), rtol=1e-5)
+        np.testing.assert_allclose(
+            t.sum(axis=(0, 2), keepdims=True).data, x.sum(axis=(0, 2), keepdims=True),
+            rtol=1e-5,
+        )
+
+    def test_mean_and_var(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.mean(axis=0).data, x.mean(axis=0), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(t.var(axis=0).data, x.var(axis=0), rtol=1e-4, atol=1e-6)
+
+    def test_var_unbiased(self, rng):
+        x = rng.standard_normal((8,)).astype(np.float32)
+        np.testing.assert_allclose(
+            Tensor(x).var(unbiased=True).data, x.var(ddof=1), rtol=1e-4
+        )
+
+    def test_max_min_argmax(self, rng):
+        x = rng.standard_normal((3, 7)).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.max(axis=1).data, x.max(axis=1))
+        np.testing.assert_allclose(t.min(axis=1).data, x.min(axis=1))
+        np.testing.assert_array_equal(t.argmax(axis=1).data, x.argmax(axis=1))
+        np.testing.assert_array_equal(t.argmin().data, x.argmin())
+
+
+class TestShapeOps:
+    def test_reshape_and_view(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        assert Tensor(x).reshape(3, 4).shape == (3, 4)
+        assert Tensor(x).view((4, 3)).shape == (4, 3)
+
+    def test_flatten(self):
+        t = Tensor(np.zeros((2, 3, 4, 5)))
+        assert t.flatten(1).shape == (2, 60)
+        assert t.flatten(0, 1).shape == (6, 4, 5)
+
+    def test_squeeze_unsqueeze(self):
+        t = Tensor(np.zeros((2, 1, 3)))
+        assert t.squeeze(1).shape == (2, 3)
+        assert t.unsqueeze(0).shape == (1, 2, 1, 3)
+
+    def test_transpose_permute(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(Tensor(x).transpose(0, 2).data, x.swapaxes(0, 2))
+        np.testing.assert_array_equal(
+            Tensor(x).permute(2, 0, 1).data, x.transpose(2, 0, 1)
+        )
+
+    def test_broadcast_to(self):
+        t = Tensor(np.ones((1, 3)))
+        assert t.broadcast_to((4, 3)).shape == (4, 3)
+
+    def test_pad2d(self):
+        t = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = t.pad2d((1, 1, 2, 0), value=-1.0)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == -1.0
+        assert out.data[0, 0, 2, 1] == 1.0
+
+    def test_cat(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((2, 2)).astype(np.float32)
+        out = T.cat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_array_equal(out.data, np.concatenate([a, b], axis=1))
+
+    def test_stack(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((2, 3)).astype(np.float32)
+        out = T.stack([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_array_equal(out.data, np.stack([a, b]))
+
+    def test_getitem_basic_and_advanced(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_array_equal(t[1].data, x[1])
+        np.testing.assert_array_equal(t[1:3, 2].data, x[1:3, 2])
+        idx = np.array([0, 2])
+        np.testing.assert_array_equal(t[idx, idx].data, x[idx, idx])
+
+    def test_getitem_scalar_shape(self):
+        t = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert t[1, 2].shape == ()
+        assert t[1, 2].item() == 5.0
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 9)).astype(np.float32))
+        np.testing.assert_allclose(x.softmax(axis=1).data.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.standard_normal((4, 9)).astype(np.float32))
+        np.testing.assert_allclose(
+            x.log_softmax(axis=1).data, np.log(x.softmax(axis=1).data), rtol=1e-4, atol=1e-6
+        )
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        a = Tensor(x).softmax(axis=1).data
+        b = Tensor(x + 1000.0).softmax(axis=1).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+
+class TestMisc:
+    def test_item_and_bool(self):
+        assert Tensor(np.array([3.0])).item() == 3.0
+        assert bool(Tensor(np.array([1.0])))
+        with pytest.raises(ValueError, match="ambiguous"):
+            bool(Tensor(np.array([1.0, 2.0])))
+
+    def test_len_numel_dim(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.numel() == 20
+        assert t.dim() == 2
+
+    def test_astype_and_float_half(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.half().dtype == np.float16
+        assert t.half().float().dtype == np.float32
+        assert t.long().dtype == np.int64
+
+    def test_astype_same_dtype_is_identity(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.astype("float32") is t
+
+    def test_device_movement(self):
+        t = Tensor(np.zeros(3))
+        assert t.cuda().device.type == "cuda"
+        assert t.cuda().cpu().device.type == "cpu"
+
+    def test_repr_contains_requires_grad(self):
+        t = Tensor(np.zeros(2), requires_grad=True)
+        assert "requires_grad=True" in repr(t)

@@ -1,0 +1,138 @@
+"""Hypothesis property tests on the tensor engine's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import tensor as T
+from repro.tensor import Tensor
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=1, max_dims=max_dims, min_side=1,
+                               max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+def test_add_zero_is_identity(x):
+    t = Tensor(x)
+    np.testing.assert_array_equal((t + 0.0).data, x)
+
+
+@given(small_arrays())
+def test_double_negation(x):
+    t = Tensor(x)
+    np.testing.assert_array_equal((-(-t)).data, x)
+
+
+@given(small_arrays())
+def test_relu_idempotent(x):
+    t = Tensor(x)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    np.testing.assert_array_equal(once, twice)
+    assert (once >= 0).all()
+
+
+@given(small_arrays())
+def test_abs_non_negative_and_even(x):
+    t = Tensor(x)
+    np.testing.assert_array_equal(t.abs().data, (-t).abs().data)
+    assert (t.abs().data >= 0).all()
+
+
+@given(small_arrays())
+def test_reshape_roundtrip_preserves_data(x):
+    t = Tensor(x)
+    flat = t.reshape(-1) if x.size else t
+    np.testing.assert_array_equal(flat.reshape(*x.shape).data, x)
+
+
+@given(small_arrays())
+def test_sum_matches_numpy(x):
+    np.testing.assert_allclose(Tensor(x).sum().item(), x.sum(dtype=np.float64),
+                               rtol=1e-3, atol=1e-3)
+
+
+@given(small_arrays(max_dims=2))
+def test_softmax_is_distribution(x):
+    probs = Tensor(x).softmax(axis=-1).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(probs.shape[:-1]), rtol=1e-4)
+
+
+@given(small_arrays(max_dims=2), finite_floats)
+def test_softmax_shift_invariant(x, shift):
+    a = Tensor(x).softmax(axis=-1).data
+    b = (Tensor(x) + shift).softmax(axis=-1).data
+    np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-5)
+
+
+@given(small_arrays())
+def test_maximum_is_commutative_and_bounding(x):
+    y = np.roll(x, 1)
+    a = Tensor(x).maximum(Tensor(y)).data
+    b = Tensor(y).maximum(Tensor(x)).data
+    np.testing.assert_array_equal(a, b)
+    assert (a >= x).all() and (a >= y).all()
+
+
+@given(small_arrays(max_dims=2))
+def test_clip_is_within_bounds(x):
+    out = Tensor(x).clip(-1.0, 1.0).data
+    assert (out >= -1).all() and (out <= 1).all()
+
+
+@given(small_arrays(max_dims=2))
+def test_backward_of_sum_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+
+@given(small_arrays(max_dims=2), finite_floats)
+def test_linearity_of_gradient(x, scale):
+    t = Tensor(x, requires_grad=True)
+    (t * scale).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, scale), rtol=1e-4, atol=1e-4)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_broadcast_to_then_unbroadcast_by_sum(rows, cols):
+    x = np.arange(cols, dtype=np.float32)
+    t = Tensor(x, requires_grad=True)
+    t.broadcast_to((rows, cols)).sum().backward()
+    np.testing.assert_array_equal(t.grad, np.full(cols, float(rows)))
+
+
+@given(small_arrays(max_dims=3))
+@settings(max_examples=30)
+def test_cat_split_roundtrip(x):
+    t = Tensor(x)
+    joined = T.cat([t, t], axis=0)
+    assert joined.shape[0] == 2 * x.shape[0]
+    np.testing.assert_array_equal(joined.data[: x.shape[0]], x)
+    np.testing.assert_array_equal(joined.data[x.shape[0]:], x)
+
+
+@given(
+    hnp.arrays(dtype=np.float32, shape=(4, 4), elements=finite_floats),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    finite_floats,
+)
+def test_inject_values_only_touches_target(x, i, j, value):
+    t = Tensor(x)
+    out = t.inject_values((np.array([i]), np.array([j])), [value])
+    expected = x.copy()
+    expected[i, j] = np.float32(value)
+    np.testing.assert_array_equal(out.data, expected)
+    np.testing.assert_array_equal(t.data, x)

@@ -1,0 +1,107 @@
+"""Tests for the per-injection tracing facility."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import InjectionCampaign, InjectionTrace, margin
+from repro.core import SingleBitFlip
+
+
+class TestMargin:
+    def test_positive_for_correct_confident(self):
+        logits = np.array([[5.0, 1.0, 0.0]])
+        assert margin(logits, np.array([0]))[0] == pytest.approx(4.0)
+
+    def test_negative_for_misclassified(self):
+        logits = np.array([[1.0, 5.0, 0.0]])
+        assert margin(logits, np.array([0]))[0] == pytest.approx(-4.0)
+
+    def test_vectorised(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        np.testing.assert_allclose(margin(logits, np.array([0, 1])), [1.0, 3.0])
+
+
+class TestTraceBasics:
+    def _event_kwargs(self, corrupted=False, layer=0):
+        return dict(layer=layer, coords=(1, 2, 3), batch_slot=0, label=1,
+                    predicted=2 if corrupted else 1, corrupted=corrupted,
+                    margin_before=1.5, margin_after=-0.5 if corrupted else 1.2)
+
+    def test_record_and_len(self):
+        trace = InjectionTrace()
+        trace.record(**self._event_kwargs())
+        trace.record(**self._event_kwargs(corrupted=True))
+        assert len(trace) == 2
+        assert trace.events[0].index == 0
+        assert trace.events[1].index == 1
+
+    def test_corruption_rate(self):
+        trace = InjectionTrace()
+        assert trace.corruption_rate() == 0.0
+        trace.record(**self._event_kwargs(corrupted=True))
+        trace.record(**self._event_kwargs(corrupted=False))
+        assert trace.corruption_rate() == 0.5
+
+    def test_per_layer_counts(self):
+        trace = InjectionTrace()
+        trace.record(**self._event_kwargs(layer=0, corrupted=True))
+        trace.record(**self._event_kwargs(layer=2))
+        injections, corruptions = trace.per_layer_counts(3)
+        np.testing.assert_array_equal(injections, [1, 0, 1])
+        np.testing.assert_array_equal(corruptions, [1, 0, 0])
+
+    def test_margin_erosion(self):
+        trace = InjectionTrace()
+        trace.record(**self._event_kwargs(corrupted=True))  # 1.5 -> -0.5 = 2.0
+        trace.record(**self._event_kwargs(corrupted=False))  # 1.5 -> 1.2 = 0.3
+        assert trace.margin_erosion() == pytest.approx(1.15)
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = InjectionTrace()
+        trace.record(**self._event_kwargs(corrupted=True))
+        path = trace.to_json(tmp_path / "trace.json")
+        loaded = InjectionTrace.from_json(path)
+        assert len(loaded) == 1
+        assert loaded.events[0].coords == (1, 2, 3)
+        assert loaded.events[0].corrupted
+
+    def test_npz_export(self, tmp_path):
+        trace = InjectionTrace()
+        trace.record(**self._event_kwargs())
+        trace.record(**self._event_kwargs(corrupted=True, layer=1))
+        path = trace.to_npz(tmp_path / "trace.npz")
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["layer"], [0, 1])
+            np.testing.assert_array_equal(archive["corrupted"], [False, True])
+            assert archive["coords"].shape == (2, 3)
+
+    def test_npz_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            InjectionTrace().to_npz(tmp_path / "x.npz")
+
+
+class TestCampaignIntegration:
+    def test_trace_matches_campaign_counts(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        trace = InjectionTrace()
+        campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                     batch_size=8, pool_size=64, rng=5)
+        result = campaign.run(48, trace=trace)
+        assert len(trace) == result.injections
+        assert sum(e.corrupted for e in trace) == result.corruptions
+        injections, corruptions = trace.per_layer_counts(campaign.fi.num_layers)
+        np.testing.assert_array_equal(injections, result.per_layer_injections)
+        np.testing.assert_array_equal(corruptions, result.per_layer_corruptions)
+
+    def test_traced_margins_consistent_with_outcome(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        trace = InjectionTrace()
+        campaign = InjectionCampaign(model, dataset, error_model=SingleBitFlip(),
+                                     batch_size=8, pool_size=64, rng=6)
+        campaign.run(64, trace=trace)
+        for event in trace:
+            # Clean pool inputs are correctly classified: positive margin.
+            assert event.margin_before > 0
+            # A corrupted outcome implies the perturbed margin went negative.
+            if event.corrupted:
+                assert event.margin_after < 0

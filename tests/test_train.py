@@ -1,0 +1,111 @@
+"""Tests for the trainer and the on-disk model cache."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro.data import SyntheticClassification
+from repro.train import evaluate, get_or_train, load_state, save_state, train_classifier
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self, tiny_dataset):
+        gen = np.random.default_rng(0)
+        net = nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1, rng=gen), nn.ReLU(), nn.MaxPool2d(2),
+            nn.Flatten(), nn.Linear(8 * 8 * 8, 4, rng=gen),
+        )
+        images, labels = tiny_dataset.balanced_split(16, rng=1)
+        before = evaluate(net, images, labels)
+        result = train_classifier(net, tiny_dataset, epochs=4, train_per_class=32,
+                                  test_per_class=8, seed=2)
+        assert result.test_accuracy > max(before, 0.5)
+        assert len(result.history) == 4
+        assert result.train_time_s > 0
+
+    def test_hook_called_every_step(self, tiny_dataset):
+        gen = np.random.default_rng(1)
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+                            nn.Flatten(), nn.Linear(4 * 16 * 16, 4, rng=gen))
+        calls = []
+        train_classifier(net, tiny_dataset, epochs=2, train_per_class=8,
+                         test_per_class=4, batch_size=8,
+                         hook=lambda model, epoch, step: calls.append((epoch, step)),
+                         seed=3)
+        # 8 per class x 4 classes / batch 8 = 4 steps per epoch, 2 epochs.
+        assert len(calls) == 8
+        assert calls[0] == (0, 0)
+        assert calls[-1] == (1, 7)
+
+    def test_adam_option(self, tiny_dataset):
+        gen = np.random.default_rng(2)
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+                            nn.Flatten(), nn.Linear(4 * 16 * 16, 4, rng=gen))
+        result = train_classifier(net, tiny_dataset, epochs=2, optimizer="adam",
+                                  lr=1e-3, train_per_class=16, test_per_class=4, seed=4)
+        assert np.isfinite(result.final_train_loss)
+
+    def test_unknown_optimizer(self, tiny_dataset):
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.Flatten(),
+                            nn.Linear(4 * 16 * 16, 4))
+        with pytest.raises(ValueError, match="optimizer"):
+            train_classifier(net, tiny_dataset, optimizer="lbfgs")
+
+    def test_evaluate_restores_mode(self, tiny_dataset):
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.Flatten(),
+                            nn.Linear(4 * 16 * 16, 4))
+        net.train()
+        images, labels = tiny_dataset.sample(8, rng=5)
+        evaluate(net, images, labels)
+        assert net.training
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        accs = []
+        for _ in range(2):
+            gen = np.random.default_rng(7)
+            net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+                                nn.Flatten(), nn.Linear(4 * 16 * 16, 4, rng=gen))
+            result = train_classifier(net, tiny_dataset, epochs=2, train_per_class=8,
+                                      test_per_class=4, seed=6)
+            accs.append(result.test_accuracy)
+        assert accs[0] == accs[1]
+
+
+class TestCache:
+    def test_save_load_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec = {"kind": "unit", "seed": 1}
+        state = {"w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        save_state(spec, state)
+        loaded = load_state(spec)
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_miss_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert load_state({"kind": "missing"}) is None
+
+    def test_distinct_specs_distinct_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        save_state({"seed": 1}, {"w": np.zeros(1)})
+        save_state({"seed": 2}, {"w": np.ones(1)})
+        assert load_state({"seed": 1})["w"][0] == 0
+        assert load_state({"seed": 2})["w"][0] == 1
+
+    def test_get_or_train_trains_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        trainings = []
+
+        def build():
+            gen = np.random.default_rng(3)
+            return nn.Linear(4, 2, rng=gen)
+
+        def train(model):
+            trainings.append(1)
+            model.weight.data[...] = 7.0
+
+        spec = {"kind": "unit-train", "v": 1}
+        first, cached_first = get_or_train(spec, build, train)
+        second, cached_second = get_or_train(spec, build, train)
+        assert not cached_first and cached_second
+        assert len(trainings) == 1
+        np.testing.assert_array_equal(second.weight.data, first.weight.data)
