@@ -1,0 +1,103 @@
+"""Campaign throughput — checkpoint-and-resume vs full re-execution.
+
+Runs the same fixed-seed single-neuron bit-flip campaign on resnet18 twice
+(resume engine on and off), asserts the fast path is >= 2x injections/sec
+while producing bit-identical corruption counts, and appends a JSON record
+of both runs under ``results/``.
+
+The layer-sampling strategy matters for the speedup: ``proportional``
+concentrates sites in the big early conv layers (shallow truncations skip
+little), while ``uniform_layer`` spreads sites across depth.  Both are
+measured; the >= 2x bar is asserted on ``uniform_layer``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import models
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip
+from repro.data import SyntheticClassification
+from repro.tensor import Tensor, no_grad
+
+from .conftest import run_once
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "campaign_throughput.json"
+N_INJECTIONS = 256
+
+
+class _SelfLabelled:
+    """Labels inputs with the model's own clean argmax (100% pool accuracy)."""
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
+def _run_campaign(net, dataset, strategy, resume):
+    campaign = InjectionCampaign(
+        net, dataset, error_model=SingleBitFlip(), batch_size=16,
+        pool_size=32, rng=7, strategy=strategy, resume=resume)
+    result = campaign.run(N_INJECTIONS)
+    record = campaign.perf.as_dict()
+    record["strategy"] = strategy
+    record["corruptions"] = result.corruptions
+    record["per_layer_corruptions"] = result.per_layer_corruptions.tolist()
+    return record
+
+
+def _measure():
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)
+    net.eval()
+    dataset = _SelfLabelled(
+        net, SyntheticClassification(num_classes=10, image_size=32, seed=5))
+    records = []
+    for strategy in ("proportional", "uniform_layer"):
+        pair = {}
+        for resume in (True, False):
+            pair[resume] = _run_campaign(net, dataset, strategy, resume)
+        pair[True]["speedup"] = (
+            pair[True]["injections_per_sec"] / pair[False]["injections_per_sec"])
+        records.append(pair)
+    return records
+
+
+def test_resume_speedup_and_equivalence(benchmark):
+    records = run_once(benchmark, _measure)
+    for pair in records:
+        on, off = pair[True], pair[False]
+        # The fast path must not change the science: identical outcomes.
+        assert on["corruptions"] == off["corruptions"]
+        assert on["per_layer_corruptions"] == off["per_layer_corruptions"]
+        assert on["resume_enabled"] and not off["resume_enabled"]
+        assert on["fraction_layer_forwards_skipped"] > 0
+        # Resume must pay off on every strategy, and clear the 2x bar where
+        # sites spread across depth.
+        floor = 2.0 if on["strategy"] == "uniform_layer" else 1.4
+        assert on["speedup"] >= floor, (
+            f"{on['strategy']}: {on['speedup']:.2f}x < {floor}x "
+            f"({on['injections_per_sec']:.0f} vs {off['injections_per_sec']:.0f} inj/s)")
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "model": "resnet18",
+        "scale": "smoke",
+        "n_injections": N_INJECTIONS,
+        "runs": [
+            {"resume": resume, **pair[resume]}
+            for pair in records for resume in (True, False)
+        ],
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -7,13 +7,16 @@ from .criteria import (
     Top1NotInTopK,
     as_criterion,
 )
+from .resume import ActivationCheckpointCache, CampaignResumeEngine
 from .runner import CampaignResult, InjectionCampaign
 from .trace import InjectionEvent, InjectionTrace, margin
 from .stats import Proportion, normal_interval, required_trials, wilson_interval, z_score
 
 __all__ = [
+    "ActivationCheckpointCache",
     "CRITERIA",
     "CampaignResult",
+    "CampaignResumeEngine",
     "ConfidenceDrop",
     "InjectionCampaign",
     "InjectionEvent",

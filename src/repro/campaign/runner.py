@@ -1,24 +1,35 @@
 """Injection-campaign orchestration (the §IV-A methodology).
 
 A campaign repeats: pick inputs the clean model classifies correctly,
-corrupt one random neuron per batch element, run the instrumented model,
+corrupt one random site per batch element, run the instrumented model,
 and score each element against a corruption criterion.  Results aggregate
 into overall and per-layer corruption rates with confidence intervals —
 the quantities behind Fig. 4 and Fig. 6.
+
+Execution is *planned upfront and grouped by target layer*: every random
+draw (input choice, site location, per-site error-model seed) happens
+before any forward runs, then same-layer sites share a batch.  Grouping
+lets the whole batch resume from one cached checkpoint (see
+:mod:`repro.campaign.resume`), and pre-drawn per-site generators make the
+campaign's statistics independent of execution order — a fixed seed yields
+bit-identical results whether the resume fast path is on or off.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core import FaultInjection, SingleBitFlip
-from ..core.fault_injection import NeuronSite
-from ..core.injectors import _quant_for_layer, random_neuron_location
+from ..core.fault_injection import NeuronSite, WeightSite
+from ..core.injectors import _quant_for_layer, random_neuron_locations, random_weight_locations
+from ..perf import CampaignPerfCounters
 from ..tensor import Tensor, no_grad
 from ..tensor import rng as _rng
 from .criteria import as_criterion
+from .resume import DEFAULT_BUDGET_BYTES, CampaignResumeEngine
 from .stats import Proportion
 from .trace import margin
 
@@ -58,7 +69,7 @@ class CampaignResult:
 
 
 class InjectionCampaign:
-    """Run repeated randomized neuron injections against one model.
+    """Run repeated randomized injections against one model.
 
     Parameters
     ----------
@@ -83,11 +94,27 @@ class InjectionCampaign:
         vulnerability studies, Fig. 6).
     pool_size:
         How many candidate inputs to pre-screen for clean correctness.
+    target:
+        ``"neuron"`` (runtime output perturbations, the default) or
+        ``"weight"`` (offline weight rewrites; always full forwards, one
+        site per forward, since weights are shared across a batch).
+    strategy:
+        Site-sampling strategy: ``"proportional"`` over all elements or
+        ``"uniform_layer"``.
+    resume:
+        Enable the checkpoint-and-resume fast path when the model traces
+        to a segment chain.  Falls back transparently (weight campaigns,
+        non-chain models) — results are bit-identical either way.
+    resume_budget_bytes:
+        Memory budget for the activation checkpoint cache.
     """
 
     def __init__(self, model, dataset, error_model=None, criterion="top1", batch_size=16,
                  input_shape=None, quantization=None, layer=None, pool_size=256,
-                 network_name="model", rng=None):
+                 network_name="model", rng=None, target="neuron", strategy="proportional",
+                 resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES):
+        if target not in ("neuron", "weight"):
+            raise ValueError(f"target must be 'neuron' or 'weight', got {target!r}")
         self.dataset = dataset
         self.error_model = error_model if error_model is not None else SingleBitFlip()
         self.criterion = as_criterion(criterion)
@@ -95,32 +122,52 @@ class InjectionCampaign:
         self.quantization = quantization
         self.layer = layer
         self.network_name = network_name
+        self.target = target
+        self.strategy = strategy
         self.rng = _rng.coerce_generator(rng)
+        self.perf = CampaignPerfCounters()
         shape = input_shape if input_shape is not None else dataset.input_shape
         self._work_model = model.clone()
         self._work_model.eval()
         self.fi = FaultInjection(self._work_model, batch_size=batch_size,
                                  input_shape=shape, rng=self.rng)
-        self._build_pool(model, pool_size)
+        self._resume = None
+        if resume and target == "neuron":
+            engine = CampaignResumeEngine(self.fi, resume_budget_bytes)
+            if engine.available:
+                self._resume = engine
+        self.perf.resume_enabled = self._resume is not None
+        self._build_pool(pool_size)
 
-    def _build_pool(self, model, pool_size):
-        """Pre-screen inputs: keep only ones the clean model gets right."""
+    def _build_pool(self, pool_size):
+        """Pre-screen inputs: keep only ones the clean model gets right.
+
+        The screening forwards double as cache warming: when the resume
+        engine is live, each chunk runs as a capture and the checkpoint
+        rows of every kept element are stored under its final pool index —
+        the fast path starts warm at no extra forward cost.
+        """
         images, labels = self.dataset.sample(pool_size, rng=self.rng)
-        was_training = model.training
-        model.eval()
         keep_images, keep_labels, keep_logits = [], [], []
-        try:
-            with no_grad():
-                for start in range(0, len(images), 64):
-                    chunk = images[start : start + 64]
-                    chunk_labels = labels[start : start + 64]
-                    logits = model(Tensor(chunk)).data
-                    correct = logits.argmax(axis=1) == chunk_labels
-                    keep_images.append(chunk[correct])
-                    keep_labels.append(chunk_labels[correct])
-                    keep_logits.append(logits[correct])
-        finally:
-            model.train(was_training)
+        kept = 0
+        with no_grad():
+            for start in range(0, len(images), 64):
+                chunk = images[start : start + 64]
+                chunk_labels = labels[start : start + 64]
+                if self._resume is not None:
+                    out, boundaries, acts = self._resume.capture(Tensor(chunk))
+                    logits = out.data
+                else:
+                    logits = self._work_model(Tensor(chunk)).data
+                correct = logits.argmax(axis=1) == chunk_labels
+                rows = np.nonzero(correct)[0]
+                if self._resume is not None and len(rows):
+                    pool_indices = range(kept, kept + len(rows))
+                    self._resume.store_rows(pool_indices, rows, boundaries, acts)
+                kept += len(rows)
+                keep_images.append(chunk[correct])
+                keep_labels.append(chunk_labels[correct])
+                keep_logits.append(logits[correct])
         self.pool_images = np.concatenate(keep_images)
         self.pool_labels = np.concatenate(keep_labels)
         self.pool_logits = np.concatenate(keep_logits)
@@ -130,59 +177,139 @@ class InjectionCampaign:
             )
         self.clean_accuracy = len(self.pool_images) / pool_size
 
-    def _sample_sites(self):
-        """One random neuron site per batch element (honouring self.layer)."""
-        sites = []
-        for b in range(self.fi.batch_size):
-            layer_idx, coords = random_neuron_location(self.fi, layer=self.layer, rng=self.rng)
-            sites.append(
-                NeuronSite(
-                    layer=layer_idx, batch=b, coords=coords, error_model=self.error_model,
-                    quantization=_quant_for_layer(self.quantization, layer_idx),
-                )
-            )
-        return sites
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def _plan(self, n):
+        """Draw every random decision for ``n`` injections upfront.
+
+        Returns ``(pool_idx, layers, coords, seeds)`` — all sampled with
+        batched generator calls.  ``seeds[i]`` later pins injection ``i``'s
+        error-model draws to its own generator, so outcomes do not depend
+        on the order or batching the executor chooses.
+        """
+        pool_idx = self.rng.integers(0, len(self.pool_images), size=n)
+        if self.target == "weight":
+            layers, coords = random_weight_locations(
+                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy)
+        else:
+            layers, coords = random_neuron_locations(
+                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy)
+        seeds = self.rng.integers(0, np.iinfo(np.int64).max, size=n)
+        return pool_idx, layers, coords, seeds
+
+    def _chunks(self, layers, n):
+        """Group plan positions into same-layer batches of ``batch_size``.
+
+        Weight campaigns get one site per forward: weights are shared by
+        the whole batch, so batching sites would stack faults.
+        """
+        if self.target == "weight":
+            return [[p] for p in range(n)]
+        batch = self.fi.batch_size
+        chunks = []
+        current = []
+        for p in np.argsort(layers, kind="stable"):
+            if current and (layers[p] != layers[current[0]] or len(current) == batch):
+                chunks.append(current)
+                current = []
+            current.append(int(p))
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _execute_chunk(self, layer_idx, positions, pool_idx, coords, seeds):
+        """Run one instrumented forward for same-layer plan ``positions``.
+
+        Returns ``(logits, resumed)``.  The resume plan (including any
+        cache refills, which need clean forwards) is assembled *before*
+        the model is instrumented.
+        """
+        idx = pool_idx[positions]
+        quant = _quant_for_layer(self.quantization, layer_idx)
+        resume_plan = None
+        if self._resume is not None:
+            resume_plan = self._resume.plan_chunk(layer_idx, list(idx), self.pool_images)
+        if self.target == "weight":
+            sites = [
+                WeightSite(layer=layer_idx, coords=coords[p], error_model=self.error_model,
+                           quantization=quant, rng=np.random.default_rng(int(seeds[p])))
+                for p in positions
+            ]
+            model = self.fi.instrument(weight_sites=sites, clone=False)
+        else:
+            sites = [
+                NeuronSite(layer=layer_idx, batch=b, coords=coords[p],
+                           error_model=self.error_model, quantization=quant,
+                           rng=np.random.default_rng(int(seeds[p])))
+                for b, p in enumerate(positions)
+            ]
+            model = self.fi.instrument(neuron_sites=sites, clone=False)
+        try:
+            # Injected values (especially exponent bit flips) legitimately
+            # overflow float32 downstream; that is the fault model, not a
+            # numerical bug, so the warnings are silenced here.
+            with no_grad(), np.errstate(all="ignore"):
+                if resume_plan is not None:
+                    seg_index, boundary, stub_pairs, skipped = resume_plan
+                    with self._resume.segmented.stub_outputs(stub_pairs):
+                        if seg_index is None:
+                            # Stub mode: the model's own forward re-runs, but
+                            # every instrumentable layer <= target returns its
+                            # cached clean output.
+                            logits = model(Tensor(self.pool_images[idx])).data
+                        else:
+                            logits = self._resume.segmented.run_from(seg_index, boundary).data
+                    self.perf.layer_forwards_skipped += skipped
+                    self.perf.layer_forwards_executed += self.fi.num_layers - skipped
+                    return logits, True
+                logits = model(Tensor(self.pool_images[idx])).data
+                self.perf.layer_forwards_executed += self.fi.num_layers
+                return logits, False
+        finally:
+            self.fi.reset()
 
     def run(self, n_injections, confidence=0.99, progress=None, trace=None):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
         to record one :class:`InjectionEvent` per injection (layer, coords,
-        outcome, decision-margin erosion).
+        outcome, decision-margin erosion); events are emitted in plan
+        order, not execution order.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
-        batch = self.fi.batch_size
+        started = time.perf_counter()
         per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
         per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
-        total = 0
         corrupted_total = 0
-        while total < n_injections:
-            take = min(batch, n_injections - total)
-            idx = self.rng.integers(0, len(self.pool_images), size=batch)
-            sites = self._sample_sites()
-            model = self.fi.instrument(neuron_sites=sites, clone=False)
-            try:
-                # Injected values (especially exponent bit flips) legitimately
-                # overflow float32 downstream; that is the fault model, not a
-                # numerical bug, so the warnings are silenced here.
-                with no_grad(), np.errstate(all="ignore"):
-                    logits = model(Tensor(self.pool_images[idx])).data
-            finally:
-                self.fi.reset()
+        pool_idx, layers, coords, seeds = self._plan(n_injections)
+        events = [None] * n_injections if trace is not None else None
+        done = 0
+        for positions in self._chunks(layers, n_injections):
+            layer_idx = int(layers[positions[0]])
+            idx = pool_idx[positions]
+            logits, resumed = self._execute_chunk(layer_idx, positions, pool_idx, coords, seeds)
+            self.perf.forwards += 1
+            self.perf.resumed_forwards += int(resumed)
             flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
-            if trace is not None:
+            if events is not None:
                 margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
                 margins_after = margin(logits, self.pool_labels[idx])
-            for b in range(take):
-                per_layer_inj[sites[b].layer] += 1
+            for b, p in enumerate(positions):
+                per_layer_inj[layer_idx] += 1
                 if flags[b]:
-                    per_layer_cor[sites[b].layer] += 1
+                    per_layer_cor[layer_idx] += 1
                     corrupted_total += 1
-                if trace is not None:
-                    trace.record(
-                        layer=sites[b].layer,
-                        coords=sites[b].coords,
+                if events is not None:
+                    events[p] = dict(
+                        layer=layer_idx,
+                        coords=coords[p],
                         batch_slot=b,
                         label=int(self.pool_labels[idx][b]),
                         predicted=int(logits[b].argmax()),
@@ -190,13 +317,25 @@ class InjectionCampaign:
                         margin_before=float(margins_before[b]),
                         margin_after=float(margins_after[b]),
                     )
-            total += take
+            done += len(positions)
             if progress is not None:
-                progress(total, n_injections)
+                progress(done, n_injections)
+        if events is not None:
+            for event in events:
+                trace.record(**event)
+        self.perf.injections += n_injections
+        self.perf.elapsed_seconds += time.perf_counter() - started
+        if self._resume is not None:
+            cache = self._resume.cache
+            self.perf.capture_forwards = self._resume.capture_forwards
+            self.perf.cache_hits = cache.hits
+            self.perf.cache_misses = cache.misses
+            self.perf.cache_evictions = cache.evictions
+            self.perf.cache_bytes = cache.bytes_used
         return CampaignResult(
             network=self.network_name,
             criterion=self.criterion_name,
-            injections=total,
+            injections=n_injections,
             corruptions=corrupted_total,
             confidence=confidence,
             per_layer_injections=per_layer_inj,

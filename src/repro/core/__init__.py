@@ -39,8 +39,10 @@ from .injectors import (
     random_neuron_injection,
     random_neuron_injection_batched,
     random_neuron_location,
+    random_neuron_locations,
     random_weight_injection,
     random_weight_location,
+    random_weight_locations,
 )
 
 __all__ = [
@@ -72,6 +74,8 @@ __all__ = [
     "random_neuron_injection",
     "random_neuron_injection_batched",
     "random_neuron_location",
+    "random_neuron_locations",
     "random_weight_injection",
     "random_weight_location",
+    "random_weight_locations",
 ]

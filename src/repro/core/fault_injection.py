@@ -69,13 +69,19 @@ class LayerInfo:
 
 @dataclass
 class NeuronSite:
-    """One declared neuron injection site."""
+    """One declared neuron injection site.
+
+    ``rng`` optionally pins this site's error-model draws to its own
+    generator; campaigns use that to make each injection's randomness
+    independent of the order sites are executed in.
+    """
 
     layer: int
     batch: int  # -1 means every element of the batch
     coords: tuple  # indices into the per-example output geometry
     error_model: object
     quantization: object = None
+    rng: object = None
 
 
 @dataclass
@@ -86,6 +92,7 @@ class WeightSite:
     coords: tuple  # full index into the weight tensor
     error_model: object
     quantization: object = None
+    rng: object = None
 
 
 @dataclass
@@ -417,7 +424,8 @@ class FaultInjection:
             original = weight.data[site.coords]
             snapshots.append((weight, site.coords, original))
             ctx = InjectionContext(
-                rng=self.rng, layer=self.layer(site.layer), module=module,
+                rng=site.rng if site.rng is not None else self.rng,
+                layer=self.layer(site.layer), module=module,
                 quantization=site.quantization,
             )
             new_value = site.error_model(np.asarray([original], dtype=weight.dtype), ctx)[0]
@@ -441,6 +449,7 @@ class FaultInjection:
             coord_axes = [[] for _ in range(len(output.shape) - 1)]
             models = []
             quants = []
+            rngs = []
             for site in sites:
                 batches = range(output.shape[0]) if site.batch == -1 else [site.batch]
                 for b in batches:
@@ -449,17 +458,24 @@ class FaultInjection:
                         coord_axes[axis].append(coord)
                     models.append(site.error_model)
                     quants.append(site.quantization)
+                    rngs.append(site.rng)
             index = (np.asarray(batch_axis),) + tuple(np.asarray(a) for a in coord_axes)
             original = output.data[index]
             new_values = np.empty_like(original)
-            # Group consecutive sites sharing the same model + quantization so
-            # vectorised models see one call per group.
+            # Group consecutive sites sharing the same model + quantization +
+            # generator so vectorised models see one call per group.
             start = 0
             for i in range(1, len(models) + 1):
-                if i < len(models) and models[i] is models[start] and quants[i] is quants[start]:
+                if (
+                    i < len(models)
+                    and models[i] is models[start]
+                    and quants[i] is quants[start]
+                    and rngs[i] is rngs[start]
+                ):
                     continue
                 ctx = InjectionContext(
-                    rng=engine_rng, layer=layer_info, module=module,
+                    rng=rngs[start] if rngs[start] is not None else engine_rng,
+                    layer=layer_info, module=module,
                     quantization=quants[start],
                 )
                 new_values[start:i] = models[start](original[start:i], ctx)
@@ -467,6 +483,41 @@ class FaultInjection:
             return output.inject_values(index, new_values)
 
         return hook
+
+    # ------------------------------------------------------------------ #
+    # Segmented execution (checkpoint-and-resume support)
+    # ------------------------------------------------------------------ #
+
+    def segmented(self, model=None):
+        """Trace ``model`` (default: the profiled model) into a
+        :class:`~repro.nn.SegmentedForward` whose tracked execution order
+        is this engine's instrumentable layers.
+
+        Returns ``None`` only when the trace cannot anchor this engine's
+        layer indices — the traced execution order of the instrumentable
+        layers disagrees with the profile order.  A model that traces but
+        is not a simple chain comes back with ``is_chain == False``;
+        resume engines can still prefix-stub its layers, they just cannot
+        skip the inter-layer glue.
+        """
+        target = model if model is not None else self.model
+        modules = [m for _, m in self._iter_instrumentable(target)]
+        if len(modules) != len(self.layers):
+            return None
+        dummy = Tensor(np.zeros((self.batch_size, *self.input_shape), dtype=np.float32))
+        if self.dtype is not None:
+            dummy = dummy.astype(self.dtype)
+        seg = nn.SegmentedForward.trace(target, dummy, track=modules)
+        # Profile records are appended in hook-firing order; the trace must
+        # see the same order or ``layers[i]`` would not name ``modules[i]``.
+        if len(seg.execution_order) != len(modules) or any(
+            a is not b for a, b in zip(seg.execution_order, modules)
+        ):
+            return None
+        if seg.is_chain and any(seg.segment_of(m) is None for m in modules):
+            seg.segments = None
+            seg._segment_of = {}
+        return seg
 
     # ------------------------------------------------------------------ #
     # Teardown

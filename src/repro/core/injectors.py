@@ -29,6 +29,63 @@ def _quant_for_layer(quantization, layer_idx):
     return quantization
 
 
+def _batched_locations(gen, layer_pool, sizes, shapes, n, layer, strategy):
+    """Shared batched sampler over a pool of layers.
+
+    ``layer_pool`` lists the eligible layer indices, ``sizes[i]`` the number
+    of sampleable elements in pool entry ``i`` and ``shapes[i]`` its
+    geometry.  Draws every random number through a handful of vectorised
+    generator calls instead of a Python loop per site.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if layer is not None:
+        pos = {idx: i for i, idx in enumerate(layer_pool)}
+        if layer not in pos:
+            raise ValueError(f"layer {layer} is not eligible for sampling")
+        picks = np.full(n, pos[layer], dtype=np.int64)
+    elif strategy == "proportional":
+        # Uniform over all elements: draw flat offsets into the concatenated
+        # element space and locate the owning layer with one searchsorted.
+        cumulative = np.cumsum(sizes)
+        flat = gen.integers(0, int(cumulative[-1]), size=n)
+        picks = np.searchsorted(cumulative, flat, side="right")
+    elif strategy == "uniform_layer":
+        picks = gen.integers(0, len(layer_pool), size=n)
+    else:
+        raise ValueError(f"unknown sampling strategy {strategy!r}")
+
+    layers = np.asarray([layer_pool[p] for p in picks], dtype=np.int64)
+    coords = [None] * n
+    for p in np.unique(picks):
+        slots = np.nonzero(picks == p)[0]
+        shape = shapes[int(p)]
+        flat_idx = gen.integers(0, int(sizes[p]), size=len(slots))
+        unravelled = np.unravel_index(flat_idx, shape)
+        for j, slot in enumerate(slots):
+            coords[slot] = tuple(int(axis[j]) for axis in unravelled)
+    return layers, coords
+
+
+def random_neuron_locations(fi, n, layer=None, rng=None, strategy="proportional"):
+    """Sample ``n`` neuron sites at once; returns ``(layers, coords)``.
+
+    ``layers`` is an int64 array of layer indices and ``coords`` a list of
+    per-site coordinate tuples.  All randomness is drawn through batched
+    generator calls (one for the layer choice, one per distinct layer for
+    the coordinates), which is what makes large campaign plans cheap.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
+    return _batched_locations(
+        gen,
+        layer_pool=[info.index for info in fi.layers],
+        sizes=[info.neurons_per_example for info in fi.layers],
+        shapes=[info.neuron_shape for info in fi.layers],
+        n=int(n), layer=layer, strategy=strategy,
+    )
+
+
 def random_neuron_location(fi, layer=None, rng=None, strategy="proportional"):
     """Sample ``(layer, coords)`` for one neuron.
 
@@ -36,38 +93,31 @@ def random_neuron_location(fi, layer=None, rng=None, strategy="proportional"):
     network; ``"uniform_layer"`` first picks a layer uniformly, then a
     neuron within it.
     """
-    gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
-    if layer is None:
-        if strategy == "proportional":
-            weights = np.array([info.neurons_per_example for info in fi.layers], dtype=np.float64)
-            layer = int(gen.choice(len(fi.layers), p=weights / weights.sum()))
-        elif strategy == "uniform_layer":
-            layer = int(gen.integers(0, fi.num_layers))
-        else:
-            raise ValueError(f"unknown sampling strategy {strategy!r}")
-    shape = fi.layer(layer).neuron_shape
-    coords = tuple(int(gen.integers(0, bound)) for bound in shape)
-    return layer, coords
+    layers, coords = random_neuron_locations(fi, 1, layer=layer, rng=rng, strategy=strategy)
+    return int(layers[0]), coords[0]
 
 
-def random_weight_location(fi, layer=None, rng=None, strategy="proportional"):
-    """Sample ``(layer, coords)`` for one weight element."""
+def random_weight_locations(fi, n, layer=None, rng=None, strategy="proportional"):
+    """Sample ``n`` weight sites at once; returns ``(layers, coords)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
     gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
     candidates = [info for info in fi.layers if info.weight_shape]
     if not candidates:
         raise ValueError("no instrumentable layer has weights")
-    if layer is None:
-        if strategy == "proportional":
-            weights = np.array([info.weights for info in candidates], dtype=np.float64)
-            picked = candidates[int(gen.choice(len(candidates), p=weights / weights.sum()))]
-        elif strategy == "uniform_layer":
-            picked = candidates[int(gen.integers(0, len(candidates)))]
-        else:
-            raise ValueError(f"unknown sampling strategy {strategy!r}")
-        layer = picked.index
-    shape = fi.layer(layer).weight_shape
-    coords = tuple(int(gen.integers(0, bound)) for bound in shape)
-    return layer, coords
+    return _batched_locations(
+        gen,
+        layer_pool=[info.index for info in candidates],
+        sizes=[info.weights for info in candidates],
+        shapes=[info.weight_shape for info in candidates],
+        n=int(n), layer=layer, strategy=strategy,
+    )
+
+
+def random_weight_location(fi, layer=None, rng=None, strategy="proportional"):
+    """Sample ``(layer, coords)`` for one weight element."""
+    layers, coords = random_weight_locations(fi, 1, layer=layer, rng=rng, strategy=strategy)
+    return int(layers[0]), coords[0]
 
 
 def random_neuron_injection(fi, error_model=None, batch=-1, layer=None, rng=None,

@@ -30,6 +30,7 @@ from .layers import (
 from .loss import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss, NLLLoss
 from .module import Module
 from .parameter import Parameter
+from .segment import SegmentedForward, segment_model
 from .serialization import checkpoint_info, load_model, save_model
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "Parameter",
     "ReLU",
     "RemovableHandle",
+    "SegmentedForward",
     "Sequential",
     "Sigmoid",
     "Softmax",
@@ -62,6 +64,7 @@ __all__ = [
     "checkpoint_info",
     "load_model",
     "save_model",
+    "segment_model",
     "functional",
     "init",
 ]

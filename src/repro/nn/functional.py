@@ -65,20 +65,40 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
     ow = _conv_output_size(w, kw, sw, pw)
 
     xd = x.data
+    oc_per_group = oc // groups
+    # Keep every matmul operand in the input dtype: a float64 weight (or
+    # bias) would silently upcast the whole im2col product and force a
+    # downcast copy of the output afterwards.
+    w_mat = weight.data.reshape(groups, oc_per_group, c_per_group * kh * kw)
+    if w_mat.dtype != xd.dtype:
+        w_mat = w_mat.astype(xd.dtype)
+    bias_vec = None
+    if bias is not None:
+        bias_vec = bias.data
+        if bias_vec.dtype != xd.dtype:
+            bias_vec = bias_vec.astype(xd.dtype)
+
+    if (kh, kw) == (1, 1) and not (ph or pw):
+        # Pointwise convolution: a strided slice + batched matmul, no im2col.
+        return _conv2d_pointwise(x, weight, bias, w_mat, bias_vec,
+                                 (sh, sw), groups, (oh, ow))
+
     padded = np.pad(xd, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else xd
     cols = _windows(padded, (kh, kw), (sh, sw))  # (N, C, OH, OW, KH, KW)
-    oc_per_group = oc // groups
     # (N, G, OH, OW, Cg*KH*KW)
     cols_g = cols.reshape(n, groups, c_per_group, oh, ow, kh, kw)
-    cols_mat = np.ascontiguousarray(cols_g.transpose(0, 1, 3, 4, 2, 5, 6)).reshape(
-        n, groups, oh * ow, c_per_group * kh * kw
-    )
-    w_mat = weight.data.reshape(groups, oc_per_group, c_per_group * kh * kw)
-    # (N, G, OH*OW, OCg)
-    out = np.matmul(cols_mat, w_mat.transpose(0, 2, 1))
-    out = out.transpose(0, 1, 3, 2).reshape(n, oc, oh, ow)
-    if bias is not None:
-        out = out + bias.data.reshape(1, oc, 1, 1)
+    cols_t = cols_g.transpose(0, 1, 3, 4, 2, 5, 6)
+    if not cols_t.flags["C_CONTIGUOUS"]:
+        cols_t = np.ascontiguousarray(cols_t)
+    cols_mat = cols_t.reshape(n, groups, oh * ow, c_per_group * kh * kw)
+    # (N, G, OCg, OH*OW).  This orientation reshapes to NCHW as a contiguous
+    # view, so conv outputs always share one memory layout — checkpoint
+    # replays that substitute cached (contiguous) outputs stay bitwise
+    # identical through layout-sensitive downstream reductions.
+    out = np.matmul(w_mat, cols_mat.transpose(0, 1, 3, 2))
+    out = out.reshape(n, oc, oh, ow)
+    if bias_vec is not None:
+        out = out + bias_vec.reshape(1, oc, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
@@ -90,7 +110,8 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
         if weight.requires_grad:
             # sum over batch: (G, OCg, Cg*KH*KW)
             grad_w = np.einsum("ngop,ngpk->gok", g_mat, cols_mat, optimize=True)
-            grad_w = grad_w.reshape(oc, c_per_group, kh, kw).astype(weight.dtype)
+            grad_w = grad_w.reshape(oc, c_per_group, kh, kw)
+            grad_w = _as_dtype(grad_w, weight.dtype)
         if x.requires_grad:
             # (N, G, OH*OW, Cg*KH*KW)
             grad_cols = np.matmul(g_mat.transpose(0, 1, 3, 2), w_mat)
@@ -103,14 +124,67 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
                         :, :, :, :, i, j
                     ]
             grad_x = gx_padded[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_padded
-            grad_x = grad_x.astype(x.dtype)
+            grad_x = _as_dtype(grad_x, x.dtype)
         if bias is not None and bias.requires_grad:
-            grad_b = g.sum(axis=(0, 2, 3)).astype(bias.dtype)
+            grad_b = _as_dtype(g.sum(axis=(0, 2, 3)), bias.dtype)
         if bias is None:
             return (grad_x, grad_w)
         return (grad_x, grad_w, grad_b)
 
-    return Tensor._from_op(out.astype(x.dtype), parents, backward, "conv2d", x.device)
+    return Tensor._from_op(_as_dtype(out, x.dtype), parents, backward, "conv2d", x.device)
+
+
+def _as_dtype(array, dtype):
+    """``astype`` without the unconditional copy numpy's default performs."""
+    if array.dtype == dtype:
+        return array
+    return array.astype(dtype)
+
+
+def _conv2d_pointwise(x, weight, bias, w_mat, bias_vec, stride, groups, out_hw):
+    """1x1-kernel conv2d: subsample spatially, then one batched matmul.
+
+    The im2col path materialises an (N, G, OH*OW, Cg) copy just to multiply
+    it; for pointwise kernels the input (strided if needed) already *is*
+    that matrix.
+    """
+    sh, sw = stride
+    oh, ow = out_hw
+    n, c, h, w = x.shape
+    oc = w_mat.shape[0] * w_mat.shape[1]
+    c_per_group = c // groups
+    xd = x.data if (sh, sw) == (1, 1) else x.data[:, :, ::sh, ::sw]
+    # (N, G, Cg, OH*OW); reshape copies only when the stride slice is real.
+    x_flat = xd.reshape(n, groups, c_per_group, oh * ow)
+    out = np.matmul(w_mat, x_flat)  # (N, G, OCg, OH*OW)
+    out = out.reshape(n, oc, oh, ow)
+    if bias_vec is not None:
+        out = out + bias_vec.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        g_mat = np.ascontiguousarray(g).reshape(n, groups, oc // groups, oh * ow)
+        grad_w = grad_x = grad_b = None
+        if weight.requires_grad:
+            grad_w = np.einsum("ngop,ngkp->gok", g_mat, x_flat, optimize=True)
+            grad_w = _as_dtype(grad_w.reshape(weight.shape), weight.dtype)
+        if x.requires_grad:
+            grad_sub = np.matmul(w_mat.transpose(0, 2, 1), g_mat)  # (N, G, Cg, OH*OW)
+            grad_sub = grad_sub.reshape(n, c, oh, ow)
+            if (sh, sw) == (1, 1):
+                grad_x = grad_sub
+            else:
+                grad_x = np.zeros((n, c, h, w), dtype=grad_sub.dtype)
+                grad_x[:, :, ::sh, ::sw] = grad_sub
+            grad_x = _as_dtype(grad_x, x.dtype)
+        if bias is not None and bias.requires_grad:
+            grad_b = _as_dtype(g.sum(axis=(0, 2, 3)), bias.dtype)
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._from_op(_as_dtype(out, x.dtype), parents, backward, "conv2d", x.device)
 
 
 def linear(x, weight, bias=None):

@@ -120,15 +120,19 @@ class Module:
         return handle
 
     def __call__(self, *inputs, **kwargs):
-        for hook in tuple(self._forward_pre_hooks.values()):
-            result = hook(self, inputs)
-            if result is not None:
-                inputs = result if isinstance(result, tuple) else (result,)
+        # Hook-free modules (the overwhelmingly common case) skip the
+        # per-call tuple materialisation entirely.
+        if self._forward_pre_hooks:
+            for hook in tuple(self._forward_pre_hooks.values()):
+                result = hook(self, inputs)
+                if result is not None:
+                    inputs = result if isinstance(result, tuple) else (result,)
         output = self.forward(*inputs, **kwargs)
-        for hook in tuple(self._forward_hooks.values()):
-            result = hook(self, inputs, output)
-            if result is not None:
-                output = result
+        if self._forward_hooks:
+            for hook in tuple(self._forward_hooks.values()):
+                result = hook(self, inputs, output)
+                if result is not None:
+                    output = result
         return output
 
     def forward(self, *inputs):

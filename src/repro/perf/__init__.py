@@ -1,8 +1,10 @@
-"""Wall-clock overhead measurement harness (Fig. 3)."""
+"""Wall-clock overhead measurement harness (Fig. 3) and campaign counters."""
 
+from .counters import CampaignPerfCounters
 from .timing import OverheadMeasurement, measure_overhead, sweep_batch_sizes, time_inference
 
 __all__ = [
+    "CampaignPerfCounters",
     "OverheadMeasurement",
     "measure_overhead",
     "sweep_batch_sizes",

@@ -1,0 +1,80 @@
+"""Campaign performance counters.
+
+The checkpoint-and-resume engine (``repro.campaign.resume``) makes
+campaign throughput a first-class, measurable quantity.  A campaign owns
+one :class:`CampaignPerfCounters` instance, accumulates into it across
+``run()`` calls, and exposes it as ``campaign.perf`` so benchmarks and
+dashboards can track injections/sec, cache behaviour, and how much of the
+network's layer-forward work the resume path actually skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CampaignPerfCounters:
+    """Lifetime execution counters for one :class:`InjectionCampaign`."""
+
+    injections: int = 0
+    elapsed_seconds: float = 0.0
+    forwards: int = 0  # perturbed forwards executed (chunks)
+    resumed_forwards: int = 0  # perturbed forwards that used a checkpoint
+    capture_forwards: int = 0  # clean forwards run to (re)fill the cache
+    layer_forwards_executed: int = 0
+    layer_forwards_skipped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_bytes: int = 0
+    resume_enabled: bool = False
+
+    @property
+    def injections_per_sec(self):
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.injections / self.elapsed_seconds
+
+    @property
+    def cache_hit_rate(self):
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    @property
+    def fraction_layer_forwards_skipped(self):
+        total = self.layer_forwards_executed + self.layer_forwards_skipped
+        if total == 0:
+            return 0.0
+        return self.layer_forwards_skipped / total
+
+    def as_dict(self):
+        """A flat JSON-serialisable snapshot (for benchmark records)."""
+        return {
+            "injections": self.injections,
+            "elapsed_seconds": self.elapsed_seconds,
+            "injections_per_sec": self.injections_per_sec,
+            "forwards": self.forwards,
+            "resumed_forwards": self.resumed_forwards,
+            "capture_forwards": self.capture_forwards,
+            "layer_forwards_executed": self.layer_forwards_executed,
+            "layer_forwards_skipped": self.layer_forwards_skipped,
+            "fraction_layer_forwards_skipped": self.fraction_layer_forwards_skipped,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_bytes": self.cache_bytes,
+            "resume_enabled": self.resume_enabled,
+        }
+
+    def __str__(self):
+        return (
+            f"CampaignPerfCounters({self.injections} injections in "
+            f"{self.elapsed_seconds:.3f}s = {self.injections_per_sec:.1f}/s, "
+            f"resumed {self.resumed_forwards}/{self.forwards} forwards, "
+            f"skipped {self.fraction_layer_forwards_skipped:.0%} of layer "
+            f"forwards, cache hit rate {self.cache_hit_rate:.0%})"
+        )

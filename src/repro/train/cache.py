@@ -33,12 +33,21 @@ def _key(spec):
 
 
 def load_state(spec):
-    """Return the cached state dict for ``spec`` or None."""
+    """Return the cached state dict for ``spec`` or None.
+
+    A cache file that cannot be read back (truncated write, corrupt zip,
+    wrong format) is a *miss*, not an error: it is deleted so the caller
+    recomputes and rewrites it.
+    """
     path = cache_dir() / f"{_key(spec)}.npz"
     if not path.exists():
         return None
-    with np.load(path, allow_pickle=False) as archive:
-        return {name: archive[name] for name in archive.files}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
 
 
 def save_state(spec, state_dict):
