@@ -215,6 +215,16 @@ class CampaignResumeEngine:
             for layer_idx, act in acts.items():
                 self.cache.put(("act", layer_idx, pool_idx), act[row])
 
+    def peek_row(self, layer_idx, pool_index):
+        """Non-counting lookup of one cached clean activation row.
+
+        Used by :mod:`repro.observe` to reuse the clean activations this
+        engine already holds as divergence references, without disturbing
+        the cache's hit/miss statistics or LRU recency — observation must
+        leave campaign behaviour bit-identical.
+        """
+        return self.cache.peek(("act", int(layer_idx), int(pool_index)))
+
     def warm(self, images, pool_indices):
         """Capture-and-store a batch of pool inputs; returns clean logits."""
         out, boundaries, acts = self.capture(Tensor(images))

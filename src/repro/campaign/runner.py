@@ -18,6 +18,7 @@ bit-identical results whether the resume fast path is on or off.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -126,6 +127,7 @@ class InjectionCampaign:
         self.strategy = strategy
         self.rng = _rng.coerce_generator(rng)
         self.perf = CampaignPerfCounters()
+        self.observer = None  # set by run(observe=...), see repro.observe
         shape = input_shape if input_shape is not None else dataset.input_shape
         self._work_model = model.clone()
         self._work_model.eval()
@@ -223,18 +225,22 @@ class InjectionCampaign:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def _execute_chunk(self, layer_idx, positions, pool_idx, coords, seeds):
+    def _execute_chunk(self, layer_idx, positions, pool_idx, coords, seeds, observer=None):
         """Run one instrumented forward for same-layer plan ``positions``.
 
         Returns ``(logits, resumed)``.  The resume plan (including any
         cache refills, which need clean forwards) is assembled *before*
-        the model is instrumented.
+        the model is instrumented, and so are the observer's clean
+        reference activations — its graceful-degradation capture forward
+        must run on the uninstrumented model.
         """
         idx = pool_idx[positions]
         quant = _quant_for_layer(self.quantization, layer_idx)
         resume_plan = None
         if self._resume is not None:
             resume_plan = self._resume.plan_chunk(layer_idx, list(idx), self.pool_images)
+        if observer is not None:
+            observer.prepare_chunk(layer_idx, [int(i) for i in idx], self.pool_images[idx])
         if self.target == "weight":
             sites = [
                 WeightSite(layer=layer_idx, coords=coords[p], error_model=self.error_model,
@@ -250,11 +256,12 @@ class InjectionCampaign:
                 for b, p in enumerate(positions)
             ]
             model = self.fi.instrument(neuron_sites=sites, clone=False)
+        observing = observer.observing() if observer is not None else nullcontext()
         try:
             # Injected values (especially exponent bit flips) legitimately
             # overflow float32 downstream; that is the fault model, not a
             # numerical bug, so the warnings are silenced here.
-            with no_grad(), np.errstate(all="ignore"):
+            with no_grad(), np.errstate(all="ignore"), observing:
                 if resume_plan is not None:
                     seg_index, boundary, stub_pairs, skipped = resume_plan
                     with self._resume.segmented.stub_outputs(stub_pairs):
@@ -274,16 +281,30 @@ class InjectionCampaign:
         finally:
             self.fi.reset()
 
-    def run(self, n_injections, confidence=0.99, progress=None, trace=None):
+    def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
         to record one :class:`InjectionEvent` per injection (layer, coords,
         outcome, decision-margin erosion); events are emitted in plan
         order, not execution order.
+
+        Pass ``observe=`` to trace fault propagation through the network:
+        a :class:`~repro.observe.PropagationTracer`, a JSONL log path, or
+        ``True`` for an in-memory tracer (kept on ``self.observer``).  The
+        tracer records per-layer clean-vs-perturbed divergence and emits
+        one telemetry event per injection; observation never changes the
+        campaign's outcomes, RNG stream, or cache statistics.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+        observer = None
+        if observe is not None and observe is not False:
+            from ..observe import coerce_tracer
+
+            observer = coerce_tracer(observe)
+            observer.attach(self)
+            self.observer = observer
         started = time.perf_counter()
         per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
         per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
@@ -291,53 +312,79 @@ class InjectionCampaign:
         pool_idx, layers, coords, seeds = self._plan(n_injections)
         events = [None] * n_injections if trace is not None else None
         done = 0
-        for positions in self._chunks(layers, n_injections):
-            layer_idx = int(layers[positions[0]])
-            idx = pool_idx[positions]
-            logits, resumed = self._execute_chunk(layer_idx, positions, pool_idx, coords, seeds)
-            self.perf.forwards += 1
-            self.perf.resumed_forwards += int(resumed)
-            flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
-            if events is not None:
-                margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
-                margins_after = margin(logits, self.pool_labels[idx])
-            for b, p in enumerate(positions):
-                per_layer_inj[layer_idx] += 1
-                if flags[b]:
-                    per_layer_cor[layer_idx] += 1
-                    corrupted_total += 1
+        try:
+            if observer is not None:
+                observer.begin(self, n_injections)
+            for positions in self._chunks(layers, n_injections):
+                layer_idx = int(layers[positions[0]])
+                idx = pool_idx[positions]
+                chunk_started = time.perf_counter()
+                logits, resumed = self._execute_chunk(
+                    layer_idx, positions, pool_idx, coords, seeds, observer=observer)
+                chunk_elapsed = time.perf_counter() - chunk_started
+                self.perf.forwards += 1
+                self.perf.resumed_forwards += int(resumed)
+                flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
                 if events is not None:
-                    events[p] = dict(
-                        layer=layer_idx,
-                        coords=coords[p],
-                        batch_slot=b,
-                        label=int(self.pool_labels[idx][b]),
-                        predicted=int(logits[b].argmax()),
-                        corrupted=bool(flags[b]),
-                        margin_before=float(margins_before[b]),
-                        margin_after=float(margins_after[b]),
+                    margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
+                    margins_after = margin(logits, self.pool_labels[idx])
+                for b, p in enumerate(positions):
+                    per_layer_inj[layer_idx] += 1
+                    if flags[b]:
+                        per_layer_cor[layer_idx] += 1
+                        corrupted_total += 1
+                    if events is not None:
+                        events[p] = dict(
+                            layer=layer_idx,
+                            coords=coords[p],
+                            batch_slot=b,
+                            label=int(self.pool_labels[idx][b]),
+                            predicted=int(logits[b].argmax()),
+                            corrupted=bool(flags[b]),
+                            margin_before=float(margins_before[b]),
+                            margin_after=float(margins_after[b]),
+                        )
+                if observer is not None:
+                    observer.record_chunk(
+                        positions=positions,
+                        layer_idx=layer_idx,
+                        pool_indices=[int(i) for i in idx],
+                        coords=[coords[p] for p in positions],
+                        seeds=[int(seeds[p]) for p in positions],
+                        labels=self.pool_labels[idx],
+                        clean_predicted=self.pool_logits[idx].argmax(axis=1),
+                        logits=logits,
+                        flags=flags,
+                        resumed=resumed,
+                        latency_s=chunk_elapsed,
                     )
-            done += len(positions)
-            if progress is not None:
-                progress(done, n_injections)
-        if events is not None:
-            for event in events:
-                trace.record(**event)
-        self.perf.injections += n_injections
-        self.perf.elapsed_seconds += time.perf_counter() - started
-        if self._resume is not None:
-            cache = self._resume.cache
-            self.perf.capture_forwards = self._resume.capture_forwards
-            self.perf.cache_hits = cache.hits
-            self.perf.cache_misses = cache.misses
-            self.perf.cache_evictions = cache.evictions
-            self.perf.cache_bytes = cache.bytes_used
-        return CampaignResult(
-            network=self.network_name,
-            criterion=self.criterion_name,
-            injections=n_injections,
-            corruptions=corrupted_total,
-            confidence=confidence,
-            per_layer_injections=per_layer_inj,
-            per_layer_corruptions=per_layer_cor,
-        )
+                done += len(positions)
+                if progress is not None:
+                    progress(done, n_injections)
+            if events is not None:
+                for event in events:
+                    trace.record(**event)
+            self.perf.injections += n_injections
+            self.perf.elapsed_seconds += time.perf_counter() - started
+            if self._resume is not None:
+                cache = self._resume.cache
+                self.perf.capture_forwards = self._resume.capture_forwards
+                self.perf.cache_hits = cache.hits
+                self.perf.cache_misses = cache.misses
+                self.perf.cache_evictions = cache.evictions
+                self.perf.cache_bytes = cache.bytes_used
+            result = CampaignResult(
+                network=self.network_name,
+                criterion=self.criterion_name,
+                injections=n_injections,
+                corruptions=corrupted_total,
+                confidence=confidence,
+                per_layer_injections=per_layer_inj,
+                per_layer_corruptions=per_layer_cor,
+            )
+            if observer is not None:
+                observer.finish(self, result)
+            return result
+        finally:
+            if observer is not None:
+                observer.detach()

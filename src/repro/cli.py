@@ -6,13 +6,16 @@ Commands
 ``list-experiments``       show every reproducible figure/table + ablations
 ``run <experiment>``       regenerate one figure/table (``--scale``, ``--seed``)
 ``profile <model>``        print a model's FaultInjection layer table
-``inject <model>``         one-shot random injection demo on a zoo model
+``inject <model>``         one-shot random injection on a zoo model (``--json``)
+``report <log.jsonl>``     render a campaign telemetry log as markdown/JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -72,31 +75,91 @@ def _cmd_profile(args):
     return 0
 
 
+def _inject_fail(args, message):
+    """Resolution errors: JSON on stdout under ``--json``, else stderr."""
+    if getattr(args, "json", False):
+        print(json.dumps({"ok": False, "error": message}))
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_inject(args):
     from . import models, tensor
     from .core import FaultInjection, SingleBitFlip, random_neuron_injection
 
     tensor.manual_seed(args.seed)
-    net = models.get_model(args.model, args.dataset, scale=args.scale,
-                           rng=tensor.spawn(1))
+    try:
+        net = models.get_model(args.model, args.dataset, scale=args.scale,
+                               rng=tensor.spawn(1))
+        _, size = models.dataset_preset(args.dataset)
+    except ValueError as exc:
+        return _inject_fail(args, str(exc))
     net.eval()
-    _, size = models.dataset_preset(args.dataset)
     fi = FaultInjection(net, batch_size=1, input_shape=(3, size, size),
                         rng=args.seed)
+    if args.layer is not None and not 0 <= args.layer < fi.num_layers:
+        return _inject_fail(
+            args,
+            f"layer {args.layer} out of range: {args.model} has "
+            f"{fi.num_layers} instrumentable layers (0..{fi.num_layers - 1})",
+        )
     x = tensor.randn(1, 3, size, size, rng=args.seed + 1)
     with tensor.no_grad():
         clean = net(x).data
-    corrupted, record = random_neuron_injection(fi, SingleBitFlip())
+    corrupted, record = random_neuron_injection(fi, SingleBitFlip(), layer=args.layer)
     with tensor.no_grad(), np.errstate(all="ignore"):
         perturbed = corrupted(x).data
     fi.reset()
     site = record.sites[0]
+    max_delta = np.abs(clean - perturbed).max()
+    if args.json:
+        print(json.dumps({
+            "ok": True,
+            "model": args.model,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "seed": args.seed,
+            "error_model": "single_bit_flip",
+            "layer": int(site.layer),
+            "layer_name": fi.layer(site.layer).name,
+            "coords": [int(c) for c in site.coords],
+            "clean_top1": int(clean.argmax()),
+            "perturbed_top1": int(perturbed.argmax()),
+            "max_abs_logit_delta": float(max_delta) if np.isfinite(max_delta) else None,
+            "corrupted": bool(clean.argmax() != perturbed.argmax()),
+        }, sort_keys=True))
+        return 0
     print(f"injected single bit flip at layer {site.layer} "
           f"({fi.layer(site.layer).name}), coords {site.coords}")
     print(f"clean Top-1:     {clean.argmax()}  (logit {clean.max():+.4f})")
     print(f"perturbed Top-1: {perturbed.argmax()}  (logit {perturbed.max():+.4f})")
-    print(f"max |logit delta|: {np.abs(clean - perturbed).max():.6f}")
+    print(f"max |logit delta|: {max_delta:.6f}")
     print("output corrupted:" , bool(clean.argmax() != perturbed.argmax()))
+    return 0
+
+
+def _cmd_report(args):
+    from .observe import aggregate, load_events, render_json, render_markdown, timing_summary
+
+    path = Path(args.log)
+    if not path.exists():
+        print(f"error: no such event log: {path}", file=sys.stderr)
+        return 2
+    events = load_events(path)
+    if not events:
+        print(f"error: {path} holds no decodable events", file=sys.stderr)
+        return 1
+    report = aggregate(events)
+    if args.format == "json":
+        out = render_json(report)
+    else:
+        out = render_markdown(report, timing=timing_summary(events))
+    if args.out:
+        Path(args.out).write_text(out + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(out)
     return 0
 
 
@@ -123,7 +186,19 @@ def build_parser():
         p.add_argument("--dataset", default="cifar10")
         p.add_argument("--scale", choices=("smoke", "small", "paper"), default="small")
         p.add_argument("--seed", type=int, default=0)
+        if name == "inject":
+            p.add_argument("--layer", type=int, default=None,
+                           help="restrict the injection to one instrumentable layer")
+            p.add_argument("--json", action="store_true",
+                           help="emit one machine-readable JSON object on stdout")
         p.set_defaults(fn=fn)
+
+    report_parser = sub.add_parser(
+        "report", help="render a campaign telemetry log (see repro.observe)")
+    report_parser.add_argument("log", help="JSONL event log written by an observed campaign")
+    report_parser.add_argument("--format", choices=("markdown", "json"), default="markdown")
+    report_parser.add_argument("--out", default=None, help="write the report to a file")
+    report_parser.set_defaults(fn=_cmd_report)
     return parser
 
 

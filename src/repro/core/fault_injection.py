@@ -415,7 +415,9 @@ class FaultInjection:
         for layer_idx, layer_sites in by_layer.items():
             module = modules[layer_idx]
             hook = self._make_neuron_hook(layer_sites, self.layer(layer_idx))
-            handles.append(module.register_forward_hook(hook))
+            # Prepended so observer hooks (repro.observe) registered at any
+            # time still see the post-injection output of the target layer.
+            handles.append(module.register_forward_hook(hook, prepend=True))
 
         snapshots = []
         for site in weight_sites:

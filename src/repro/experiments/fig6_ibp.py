@@ -13,6 +13,8 @@ The error model here is a random single bit flip in the FP32 neuron value
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from ..campaign import InjectionCampaign, Proportion
 from ..core import SingleBitFlip
 from ..data import make_dataset
@@ -66,33 +68,71 @@ def _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier):
     return model, info
 
 
-def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1)):
-    """Combined corruption proportion of injections into ``layers``."""
+def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None):
+    """Combined corruption proportion of injections into ``layers``.
+
+    With ``telemetry`` set (a JSONL path), the campaigns run *observed*
+    (:mod:`repro.observe`): one propagation event per injection is appended
+    to the log, and the proportion is computed from the aggregated per-layer
+    telemetry profile instead of the in-memory campaign counters — the two
+    are identical, and the figure can later be regenerated from the log
+    alone via ``repro report``.
+    """
     corruptions = 0
     injections = 0
+    tracer = None
+    if telemetry is not None:
+        from ..observe import JsonlEventSink, PropagationTracer
+
+        tracer = PropagationTracer(JsonlEventSink(telemetry))
     for layer in layers:
         campaign = InjectionCampaign(
             model, dataset, error_model=SingleBitFlip(), criterion="top1",
             batch_size=tier["batch"], layer=layer, pool_size=tier["pool"],
             network_name=f"alexnet-layer{layer}", rng=seed + 30 + layer,
         )
-        result = campaign.run(tier["injections_per_layer"])
+        result = campaign.run(tier["injections_per_layer"], observe=tracer)
         corruptions += result.corruptions
         injections += result.injections
+    if tracer is not None:
+        from ..observe import aggregate, load_events
+
+        tracer.close()
+        profile = aggregate(load_events(telemetry))
+        injections = sum(p["injections"] for p in profile["layers"])
+        corruptions = sum(p["corruptions"] for p in profile["layers"])
     return Proportion(corruptions, injections)
 
 
-def run(scale="small", seed=0):
-    """Train the grid, measure early-layer vulnerability vs the baseline."""
+def run(scale="small", seed=0, telemetry=None):
+    """Train the grid, measure early-layer vulnerability vs the baseline.
+
+    ``telemetry`` (optional) is a directory: each grid cell's campaigns
+    write a propagation-trace event log there (``baseline.jsonl``,
+    ``alpha<a>_eps<e>.jsonl``) and the reported rates are derived from the
+    aggregated telemetry.
+    """
     tier = _TIER[check_scale(scale)]
     dataset = make_dataset("cifar10", seed=seed)
+
+    def cell_log(name):
+        if telemetry is None:
+            return None
+        path = Path(telemetry) / f"{name}.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.unlink(missing_ok=True)  # logs append; a rerun starts fresh
+        return path
+
     baseline, base_info = _trained_ibp_alexnet(dataset, 0.0, 0.0, scale, seed, tier)
-    base_rate = _early_layer_rate(baseline, dataset, tier, seed)
+    base_rate = _early_layer_rate(baseline, dataset, tier, seed,
+                                  telemetry=cell_log("baseline"))
     cells = []
     for eps in tier["epsilons"]:
         for alpha in tier["alphas"]:
             model, info = _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier)
-            rate = _early_layer_rate(model, dataset, tier, seed)
+            rate = _early_layer_rate(
+                model, dataset, tier, seed,
+                telemetry=cell_log(f"alpha{alpha:g}_eps{eps:g}"))
             relative = rate.rate / base_rate.rate if base_rate.rate > 0 else None
             cells.append(
                 {
@@ -108,6 +148,7 @@ def run(scale="small", seed=0):
         "baseline_accuracy": base_info.get("accuracy"),
         "cells": cells,
         "scale": scale,
+        "telemetry": str(telemetry) if telemetry is not None else None,
     }
 
 
@@ -135,13 +176,20 @@ def report(results):
     out.append("")
     out.append("paper shape: relative vulnerability <= 1 (IBP helps, up to ~4x), "
                "with mild accuracy cost on clean data")
+    if results.get("telemetry"):
+        out.append("")
+        out.append(f"propagation telemetry: {results['telemetry']}/*.jsonl "
+                   "(render with `python -m repro report <log>`)")
     return "\n".join(out)
 
 
 def main(argv=None):
     parser = standard_parser(__doc__.splitlines()[0])
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write per-cell propagation-trace JSONL logs here and "
+                             "derive the figure's rates from the telemetry")
     args = parser.parse_args(argv)
-    results = run(scale=args.scale, seed=args.seed)
+    results = run(scale=args.scale, seed=args.seed, telemetry=args.telemetry)
     print(report(results))
     return results
 

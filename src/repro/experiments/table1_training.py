@@ -42,9 +42,12 @@ def _cached_pair(dataset, scale, seed, tier):
         manual_seed(seed)
         model = get_model("resnet18", "cifar10", scale=scale, rng=spawn(seed + 1))
         state = load_state(spec)
-        if state is not None:
+        meta = load_state({**spec, "kind": "table1_meta"}) if state is not None else None
+        # Weights without their meta sidecar (e.g. the sidecar was dropped as
+        # corrupt) are a miss for the whole pair: retrain both artefacts.
+        if state is not None and meta is not None:
             model.load_state_dict(state)
-            results[variant] = load_state({**spec, "kind": "table1_meta"})
+            results[variant] = meta
             models_out[variant] = model
             continue
         kwargs = dict(epochs=tier["epochs"], train_per_class=tier["per_class"],

@@ -98,25 +98,34 @@ class Module:
     # Hooks
     # ------------------------------------------------------------------ #
 
-    def register_forward_hook(self, hook):
+    def register_forward_hook(self, hook, prepend=False):
         """Register ``hook(module, inputs, output)`` called after ``forward``.
 
         If the hook returns a non-``None`` value it *replaces* the module's
-        output.  This is the mechanism the fault-injection tool uses to
-        perturb neuron values at runtime (paper §III-A).
+        output — and later hooks then receive the replaced output.  This is
+        the mechanism the fault-injection tool uses to perturb neuron values
+        at runtime (paper §III-A).  ``prepend=True`` runs the hook before
+        all currently registered ones; the injector uses it so observer
+        hooks always see the post-injection output, whenever they were
+        registered.
         """
         handle = RemovableHandle(self._forward_hooks)
         self._forward_hooks[handle.hook_id] = hook
+        if prepend:
+            self._forward_hooks.move_to_end(handle.hook_id, last=False)
         return handle
 
-    def register_forward_pre_hook(self, hook):
+    def register_forward_pre_hook(self, hook, prepend=False):
         """Register ``hook(module, inputs)`` called before ``forward``.
 
         A non-``None`` return replaces the inputs (wrapped in a tuple if the
-        hook returns a single tensor).
+        hook returns a single tensor).  ``prepend=True`` runs the hook
+        before all currently registered pre-hooks.
         """
         handle = RemovableHandle(self._forward_pre_hooks)
         self._forward_pre_hooks[handle.hook_id] = hook
+        if prepend:
+            self._forward_pre_hooks.move_to_end(handle.hook_id, last=False)
         return handle
 
     def __call__(self, *inputs, **kwargs):

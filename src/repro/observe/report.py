@@ -1,0 +1,167 @@
+"""Aggregate telemetry events into vulnerability profiles and reports.
+
+:func:`aggregate` folds a stream of event dicts (from any sink or
+:func:`~repro.observe.sinks.load_events`) into a per-layer vulnerability
+profile plus a campaign summary.  The aggregate is *deterministic*: it
+uses no wall-clock fields, so a fixed-seed campaign produces an identical
+report every run — timing lives in the separate :func:`timing_summary`.
+Renderers emit strict JSON (machine) or markdown (human), both consumed
+by the ``repro report`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .events import OUTCOME_DETECTED, OUTCOME_MASKED, OUTCOME_MISCLASSIFIED, OUTCOMES
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _new_layer(layer):
+    return {
+        "layer": layer,
+        "injections": 0,
+        "corruptions": 0,
+        "outcomes": {outcome: 0 for outcome in OUTCOMES},
+        "resumed": 0,
+        "masked_in_network": 0,  # divergence died out before the last layer
+        "_sum_l2_at_target": 0.0,
+        "_n_l2_at_target": 0,
+        "_sum_depth": 0,
+    }
+
+
+def aggregate(events):
+    """Fold events into ``{"summary": ..., "layers": [...]}`` (deterministic).
+
+    Unknown event types are ignored (forward compatibility).  Per target
+    layer the profile reports injections, corruptions, the corruption
+    rate, the outcome distribution, the mean L2 divergence the injection
+    caused *at the target layer*, the mean number of layers the corruption
+    stayed visible for (``mean_divergence_depth``), and how many faults
+    were masked inside the network before the last instrumentable layer.
+    """
+    layers = {}
+    summary = {
+        "campaigns": 0,
+        "networks": [],
+        "criteria": [],
+        "num_layers": 0,
+        "injections": 0,
+        "corruptions": 0,
+        "outcomes": {outcome: 0 for outcome in OUTCOMES},
+        "resumed": 0,
+    }
+    for event in events:
+        kind = event.get("type")
+        if kind == "campaign_start":
+            summary["campaigns"] += 1
+            network = event.get("network")
+            if network is not None and network not in summary["networks"]:
+                summary["networks"].append(network)
+            criterion = event.get("criterion")
+            if criterion is not None and criterion not in summary["criteria"]:
+                summary["criteria"].append(criterion)
+            summary["num_layers"] = max(summary["num_layers"],
+                                        int(event.get("num_layers", 0)))
+        elif kind == "injection":
+            profile = layers.setdefault(int(event["layer"]), _new_layer(int(event["layer"])))
+            profile["injections"] += 1
+            summary["injections"] += 1
+            if event["corrupted"]:
+                profile["corruptions"] += 1
+                summary["corruptions"] += 1
+            outcome = event.get("outcome")
+            if outcome in profile["outcomes"]:
+                profile["outcomes"][outcome] += 1
+                summary["outcomes"][outcome] += 1
+            if event.get("resumed"):
+                profile["resumed"] += 1
+                summary["resumed"] += 1
+            if event.get("masked_by_layer") is not None:
+                profile["masked_in_network"] += 1
+            first = event.get("first_divergence_layer")
+            last = event.get("last_divergence_layer")
+            if first is not None and last is not None:
+                profile["_sum_depth"] += int(last) - int(first) + 1
+            for row in event.get("divergence", ()):
+                if int(row[0]) == int(event["layer"]) and row[2] is not None:
+                    profile["_sum_l2_at_target"] += float(row[2])
+                    profile["_n_l2_at_target"] += 1
+    profiles = []
+    for layer in sorted(layers):
+        profile = layers[layer]
+        n = profile["injections"]
+        profile["corruption_rate"] = profile["corruptions"] / n if n else 0.0
+        profile["mean_divergence_depth"] = profile.pop("_sum_depth") / n if n else 0.0
+        n_l2 = profile.pop("_n_l2_at_target")
+        total_l2 = profile.pop("_sum_l2_at_target")
+        profile["mean_l2_at_target"] = total_l2 / n_l2 if n_l2 else 0.0
+        profiles.append(profile)
+    n = summary["injections"]
+    summary["corruption_rate"] = summary["corruptions"] / n if n else 0.0
+    return {"schema": REPORT_SCHEMA_VERSION, "summary": summary, "layers": profiles}
+
+
+def timing_summary(events):
+    """Wall-clock statistics, kept out of the deterministic aggregate."""
+    latencies = [event["latency_s"] for event in events
+                 if event.get("type") == "injection" and "latency_s" in event]
+    if not latencies:
+        return {"observed": 0, "total_s": 0.0, "mean_latency_s": 0.0}
+    total = float(sum(latencies))
+    return {
+        "observed": len(latencies),
+        "total_s": total,
+        "mean_latency_s": total / len(latencies),
+    }
+
+
+def render_json(report):
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def render_markdown(report, timing=None):
+    """A human-readable report: summary lines plus a per-layer table."""
+    summary = report["summary"]
+    lines = [
+        "# Campaign telemetry report",
+        "",
+        f"- networks: {', '.join(summary['networks']) or 'n/a'}",
+        f"- criteria: {', '.join(summary['criteria']) or 'n/a'}",
+        f"- campaigns: {summary['campaigns']}",
+        f"- injections: {summary['injections']} "
+        f"({summary['corruptions']} corrupted, "
+        f"rate {summary['corruption_rate']:.4f})",
+        f"- outcomes: {summary['outcomes'][OUTCOME_MASKED]} masked / "
+        f"{summary['outcomes'][OUTCOME_MISCLASSIFIED]} misclassified / "
+        f"{summary['outcomes'][OUTCOME_DETECTED]} NaN-or-Inf",
+        f"- resumed forwards observed: {summary['resumed']}",
+        "",
+        "## Per-layer vulnerability",
+        "",
+        "| layer | injections | corruptions | rate | masked | misclassified "
+        "| nan/inf | masked in net | mean depth | mean L2@target |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for profile in report["layers"]:
+        outcomes = profile["outcomes"]
+        lines.append(
+            f"| {profile['layer']} | {profile['injections']} | "
+            f"{profile['corruptions']} | {profile['corruption_rate']:.4f} | "
+            f"{outcomes[OUTCOME_MASKED]} | {outcomes[OUTCOME_MISCLASSIFIED]} | "
+            f"{outcomes[OUTCOME_DETECTED]} | {profile['masked_in_network']} | "
+            f"{profile['mean_divergence_depth']:.2f} | "
+            f"{profile['mean_l2_at_target']:.4g} |"
+        )
+    if timing is not None and timing.get("observed"):
+        lines += [
+            "",
+            "## Timing",
+            "",
+            f"- observed injections: {timing['observed']}",
+            f"- total observed time: {timing['total_s']:.3f} s",
+            f"- mean latency per injection: {timing['mean_latency_s'] * 1e3:.3f} ms",
+        ]
+    return "\n".join(lines)

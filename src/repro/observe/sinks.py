@@ -1,0 +1,98 @@
+"""Telemetry sinks: where observed-campaign events go.
+
+The JSONL sink is the durable format — one JSON object per line, appended
+and flushed as events arrive, so a crashed campaign still leaves a usable
+log.  The price of append-only durability is that the *last* line of a log
+can be torn (process killed mid-write); :func:`load_events` therefore
+treats undecodable lines as a skip-and-warn, never an error — the same
+treat-as-miss policy `repro.train.cache` applies to corrupt weight files.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+
+class MemorySink:
+    """Collects events in a list (tests, small in-process campaigns)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class JsonlEventSink:
+    """Append-only JSONL event log.
+
+    The file is opened lazily on the first :meth:`emit` (constructing a
+    sink never touches the filesystem) in append mode, so one log can
+    accumulate several campaigns.  Every event is written as a single
+    sorted-key JSON line and flushed immediately.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+
+    def emit(self, event):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"JsonlEventSink({str(self.path)!r})"
+
+
+def load_events(path, strict=False):
+    """Read a JSONL event log back into a list of event dicts.
+
+    Blank lines are ignored.  A line that does not decode (torn trailing
+    write, truncated copy, stray editor garbage) is skipped with a
+    :class:`RuntimeWarning` naming the line number — pass ``strict=True``
+    to raise instead.
+    """
+    path = Path(path)
+    events = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(f"corrupt event at {path}:{lineno}: {exc}") from exc
+                warnings.warn(
+                    f"skipping corrupt event log line {path}:{lineno} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return events

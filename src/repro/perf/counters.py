@@ -50,6 +50,18 @@ class CampaignPerfCounters:
             return 0.0
         return self.layer_forwards_skipped / total
 
+    def reset(self):
+        """Zero every counter so one instance can be reused across campaigns.
+
+        ``resume_enabled`` is configuration, not a tally, and is preserved;
+        telemetry consumers serialising ``as_dict()`` between campaigns rely
+        on reset to keep events from accumulating stale state.
+        """
+        resume_enabled = self.resume_enabled
+        self.__init__()
+        self.resume_enabled = resume_enabled
+        return self
+
     def as_dict(self):
         """A flat JSON-serialisable snapshot (for benchmark records)."""
         return {

@@ -1,5 +1,7 @@
 """CLI tests (``python -m repro ...``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,3 +55,82 @@ class TestCommands:
     def test_run_fig3_smoke(self, capsys):
         assert main(["run", "fig3", "--scale", "smoke"]) == 0
         assert "Fig. 3" in capsys.readouterr().out
+
+
+class TestInjectJson:
+    def test_json_payload_on_stdout(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["model"] == "alexnet"
+        assert payload["error_model"] == "single_bit_flip"
+        assert isinstance(payload["layer"], int)
+        assert isinstance(payload["coords"], list)
+        assert isinstance(payload["corrupted"], bool)
+
+    def test_layer_restriction_respected(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke",
+                     "--layer", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["layer"] == 1
+
+    def test_unknown_model_fails_with_json_error(self, capsys):
+        assert main(["inject", "no_such_net", "--scale", "smoke", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "no_such_net" in payload["error"]
+
+    def test_unknown_model_fails_on_stderr_without_json(self, capsys):
+        assert main(["inject", "no_such_net", "--scale", "smoke"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no_such_net" in captured.err
+
+    def test_layer_out_of_range_fails(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke",
+                     "--layer", "99", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "out of range" in payload["error"]
+
+
+class TestReportCommand:
+    @pytest.fixture
+    def event_log(self, tmp_path, trained_tiny_model):
+        from repro.campaign import InjectionCampaign
+        from repro.core import SingleBitFlip
+
+        model, dataset, _ = trained_tiny_model
+        log = tmp_path / "campaign.jsonl"
+        campaign = InjectionCampaign(
+            model, dataset, error_model=SingleBitFlip(), criterion="top1",
+            batch_size=8, pool_size=16, rng=11, resume=True)
+        campaign.run(16, observe=log)
+        campaign.observer.close()
+        return log
+
+    def test_markdown_report(self, event_log, capsys):
+        assert main(["report", str(event_log)]) == 0
+        out = capsys.readouterr().out
+        assert "# Campaign telemetry report" in out
+        assert "Per-layer vulnerability" in out
+
+    def test_json_report(self, event_log, capsys):
+        assert main(["report", str(event_log), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["injections"] == 16
+
+    def test_out_file(self, event_log, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", str(event_log), "--out", str(target)]) == 0
+        assert "# Campaign telemetry report" in target.read_text()
+
+    def test_missing_log_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such event log" in capsys.readouterr().err
+
+    def test_empty_log_fails(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        assert main(["report", str(log)]) == 1
+        assert "no decodable events" in capsys.readouterr().err
