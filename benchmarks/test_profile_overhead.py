@@ -1,0 +1,104 @@
+"""Profiler overhead — enabled spans vs the default (disabled) path.
+
+Runs the same fixed-seed resume campaign on resnet18 with profiling off
+(the default ``NULL_PROFILER`` path) and on (a full ``Profiler`` with
+allocation tracking), asserts the profiled run is bitwise identical and
+bounds its overhead, and appends a JSON record under ``results/`` so the
+"profiling is effectively free" claim in README has a number behind it.
+
+Timing uses the same minimum-of-paired-ratios estimator as the observed-
+campaign benchmark: scheduler jitter is additive, so the smallest per-pair
+ratio bounds the profiler's intrinsic cost from above.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import models
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip
+from repro.data import SyntheticClassification
+from repro.profile import Profiler
+from repro.tensor import Tensor, no_grad
+
+from .conftest import run_once
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "profile_overhead.json"
+N_INJECTIONS = 256
+TRIALS = 7
+PROFILED_OVERHEAD_CEILING = 0.10  # min paired ratio must stay under +10%
+
+
+class _SelfLabelled:
+    """Labels inputs with the model's own clean argmax (100% pool accuracy)."""
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
+def _measure():
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)
+    net.eval()
+    dataset = _SelfLabelled(
+        net, SyntheticClassification(num_classes=10, image_size=32, seed=5))
+
+    def run(profiler):
+        campaign = InjectionCampaign(
+            net, dataset, error_model=SingleBitFlip(), batch_size=16,
+            pool_size=32, rng=7, strategy="uniform_layer", resume=True,
+            profiler=profiler)
+        result = campaign.run(N_INJECTIONS)
+        return result, campaign
+
+    times = {"plain": [], "profiled": []}
+    baseline, _ = run(None)
+    profiled_runs = []
+    for _ in range(TRIALS):
+        _, campaign = run(None)
+        times["plain"].append(campaign.perf.elapsed_seconds)
+        result_on, campaign_on = run(Profiler())
+        times["profiled"].append(campaign_on.perf.elapsed_seconds)
+        profiled_runs.append((result_on, campaign_on))
+    return baseline, profiled_runs, times
+
+
+def test_profiled_campaign_overhead_and_equivalence(benchmark):
+    baseline, profiled_runs, times = run_once(benchmark, _measure)
+    for result, campaign in profiled_runs:
+        # Profiling must not change the science: bitwise-identical outcomes.
+        assert result.corruptions == baseline.corruptions
+        assert np.array_equal(result.per_layer_corruptions,
+                              baseline.per_layer_corruptions)
+        # And it must actually have recorded the campaign.
+        prof = campaign.profiler
+        assert {"campaign.plan", "campaign.chunk"} <= {s.name for s in prof.spans}
+        assert prof.metrics["campaign.injections"].value == N_INJECTIONS
+    ratios = [on / off for on, off in zip(times["profiled"], times["plain"])]
+    assert min(ratios) <= 1.0 + PROFILED_OVERHEAD_CEILING, (
+        f"profiled campaign min ratio {min(ratios):.3f} exceeds "
+        f"+{PROFILED_OVERHEAD_CEILING:.0%}")
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({
+        "model": "resnet18",
+        "scale": "smoke",
+        "n_injections": N_INJECTIONS,
+        "trials": TRIALS,
+        "plain_s": times["plain"],
+        "profiled_s": times["profiled"],
+        "min_ratio": min(ratios),
+        "median_ratio": sorted(ratios)[len(ratios) // 2],
+    }, indent=2) + "\n")

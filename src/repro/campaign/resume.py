@@ -51,6 +51,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..profile.profiler import NULL_PROFILER
 from ..tensor import Tensor, no_grad
 
 DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
@@ -139,6 +140,10 @@ class CampaignResumeEngine:
         self.fi = fi
         self.cache = ActivationCheckpointCache(budget_bytes)
         self.capture_forwards = 0
+        # Campaigns swap in their own profiler; spans are bitwise invisible
+        # (no RNG draws, no counting cache lookups) so profiled and
+        # unprofiled replays are identical.
+        self.profiler = NULL_PROFILER
         self.segmented = fi.segmented()
         self._modules = [m for _, m in fi._iter_instrumentable(fi.model)]
         self.chain = self.segmented is not None and self.segmented.is_chain
@@ -189,7 +194,8 @@ class CampaignResumeEngine:
         for layer_idx, module in enumerate(self._modules):
             handles.append(module.register_forward_hook(make_collector(layer_idx)))
         try:
-            with no_grad():
+            with no_grad(), self.profiler.span(
+                    "resume.capture", cat="resume", batch=int(x.shape[0])):
                 if self.chain:
                     out, bounds = self.segmented.capture(x)
                     boundaries = [b.data for b in bounds]
@@ -249,44 +255,47 @@ class CampaignResumeEngine:
         """
         if not self.available:
             raise RuntimeError("resume engine unavailable: trace could not anchor layers")
-        s = self._segment_of_layer[layer_idx] if self.chain else None
-        stub_layers = self._stub_layers[layer_idx]
-        def keys_of(i):
-            keys = [("seg", s, i)] if self.chain and s > 0 else []
-            keys.extend(("act", j, i) for j in stub_layers)
-            return keys
+        with self.profiler.span("resume.plan", cat="resume", layer=int(layer_idx),
+                                chunk=len(pool_indices)) as span:
+            s = self._segment_of_layer[layer_idx] if self.chain else None
+            stub_layers = self._stub_layers[layer_idx]
+            def keys_of(i):
+                keys = [("seg", s, i)] if self.chain and s > 0 else []
+                keys.extend(("act", j, i) for j in stub_layers)
+                return keys
 
-        unique = list(dict.fromkeys(pool_indices))
-        fetched = {}
-        missing = []
-        for i in unique:
-            rows = {key: self.cache.get(key) for key in keys_of(i)}
-            if any(v is None for v in rows.values()):
-                missing.append(i)
+            unique = list(dict.fromkeys(pool_indices))
+            fetched = {}
+            missing = []
+            for i in unique:
+                rows = {key: self.cache.get(key) for key in keys_of(i)}
+                if any(v is None for v in rows.values()):
+                    missing.append(i)
+                else:
+                    fetched.update(rows)
+            span.annotate(refill=len(missing))
+            if missing:
+                self.warm(images[np.asarray(missing)], missing)
+                for i in missing:
+                    for key in keys_of(i):
+                        row = self.cache.peek(key)
+                        if row is None:
+                            # Budget too small to hold even this chunk's rows.
+                            return None
+                        fetched[key] = row
+
+            if not self.chain:
+                boundary = None
+            elif s > 0:
+                boundary = Tensor(np.stack([fetched[("seg", s, i)] for i in pool_indices]))
             else:
-                fetched.update(rows)
-        if missing:
-            self.warm(images[np.asarray(missing)], missing)
-            for i in missing:
-                for key in keys_of(i):
-                    row = self.cache.peek(key)
-                    if row is None:
-                        # Budget too small to hold even this chunk's rows.
-                        return None
-                    fetched[key] = row
-
-        if not self.chain:
-            boundary = None
-        elif s > 0:
-            boundary = Tensor(np.stack([fetched[("seg", s, i)] for i in pool_indices]))
-        else:
-            boundary = Tensor(np.asarray(images[np.asarray(pool_indices)]))
-        stub_pairs = [
-            (
-                self._modules[j],
-                Tensor(np.stack([fetched[("act", j, i)] for i in pool_indices])),
-            )
-            for j in stub_layers
-        ]
-        skipped = layer_idx + 1  # every instrumentable layer <= target is skipped
-        return s, boundary, stub_pairs, skipped
+                boundary = Tensor(np.asarray(images[np.asarray(pool_indices)]))
+            stub_pairs = [
+                (
+                    self._modules[j],
+                    Tensor(np.stack([fetched[("act", j, i)] for i in pool_indices])),
+                )
+                for j in stub_layers
+            ]
+            skipped = layer_idx + 1  # every instrumentable layer <= target is skipped
+            return s, boundary, stub_pairs, skipped

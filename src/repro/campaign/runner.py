@@ -27,6 +27,8 @@ from ..core import FaultInjection, SingleBitFlip
 from ..core.fault_injection import NeuronSite, WeightSite
 from ..core.injectors import _quant_for_layer, random_neuron_locations, random_weight_locations
 from ..perf import CampaignPerfCounters
+from ..profile.heartbeat import coerce_progress
+from ..profile.profiler import coerce_profiler
 from ..tensor import Tensor, no_grad
 from ..tensor import rng as _rng
 from .criteria import as_criterion
@@ -108,12 +110,20 @@ class InjectionCampaign:
         non-chain models) — results are bit-identical either way.
     resume_budget_bytes:
         Memory budget for the activation checkpoint cache.
+    profiler:
+        Optional :class:`repro.profile.Profiler` (or ``True`` for a fresh
+        one).  When set, the campaign opens spans around its phases (pool
+        build, planning, each injection chunk, resume capture/plan,
+        observation) annotated with cache hit/miss/eviction deltas, and
+        publishes its perf counters into ``profiler.metrics``.  Profiling
+        is bitwise invisible: outcomes, RNG stream, and cache statistics
+        are identical with and without it.
     """
 
     def __init__(self, model, dataset, error_model=None, criterion="top1", batch_size=16,
                  input_shape=None, quantization=None, layer=None, pool_size=256,
                  network_name="model", rng=None, target="neuron", strategy="proportional",
-                 resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES):
+                 resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES, profiler=None):
         if target not in ("neuron", "weight"):
             raise ValueError(f"target must be 'neuron' or 'weight', got {target!r}")
         self.dataset = dataset
@@ -127,6 +137,7 @@ class InjectionCampaign:
         self.strategy = strategy
         self.rng = _rng.coerce_generator(rng)
         self.perf = CampaignPerfCounters()
+        self.profiler = coerce_profiler(profiler)
         self.observer = None  # set by run(observe=...), see repro.observe
         shape = input_shape if input_shape is not None else dataset.input_shape
         self._work_model = model.clone()
@@ -137,9 +148,11 @@ class InjectionCampaign:
         if resume and target == "neuron":
             engine = CampaignResumeEngine(self.fi, resume_budget_bytes)
             if engine.available:
+                engine.profiler = self.profiler
                 self._resume = engine
         self.perf.resume_enabled = self._resume is not None
-        self._build_pool(pool_size)
+        with self.profiler.span("campaign.pool", cat="campaign", pool_size=pool_size):
+            self._build_pool(pool_size)
 
     def _build_pool(self, pool_size):
         """Pre-screen inputs: keep only ones the clean model gets right.
@@ -235,12 +248,16 @@ class InjectionCampaign:
         must run on the uninstrumented model.
         """
         idx = pool_idx[positions]
+        prof = self.profiler
         quant = _quant_for_layer(self.quantization, layer_idx)
         resume_plan = None
         if self._resume is not None:
             resume_plan = self._resume.plan_chunk(layer_idx, list(idx), self.pool_images)
         if observer is not None:
-            observer.prepare_chunk(layer_idx, [int(i) for i in idx], self.pool_images[idx])
+            with prof.span("campaign.observe", cat="campaign", phase="prepare",
+                           layer=layer_idx):
+                observer.prepare_chunk(layer_idx, [int(i) for i in idx],
+                                       self.pool_images[idx])
         if self.target == "weight":
             sites = [
                 WeightSite(layer=layer_idx, coords=coords[p], error_model=self.error_model,
@@ -264,18 +281,23 @@ class InjectionCampaign:
             with no_grad(), np.errstate(all="ignore"), observing:
                 if resume_plan is not None:
                     seg_index, boundary, stub_pairs, skipped = resume_plan
-                    with self._resume.segmented.stub_outputs(stub_pairs):
-                        if seg_index is None:
-                            # Stub mode: the model's own forward re-runs, but
-                            # every instrumentable layer <= target returns its
-                            # cached clean output.
-                            logits = model(Tensor(self.pool_images[idx])).data
-                        else:
-                            logits = self._resume.segmented.run_from(seg_index, boundary).data
+                    mode = "stub" if seg_index is None else "chain"
+                    with prof.span("campaign.replay", cat="campaign", mode=mode,
+                                   layer=layer_idx, skipped=skipped):
+                        with self._resume.segmented.stub_outputs(stub_pairs):
+                            if seg_index is None:
+                                # Stub mode: the model's own forward re-runs,
+                                # but every instrumentable layer <= target
+                                # returns its cached clean output.
+                                logits = model(Tensor(self.pool_images[idx])).data
+                            else:
+                                logits = self._resume.segmented.run_from(
+                                    seg_index, boundary).data
                     self.perf.layer_forwards_skipped += skipped
                     self.perf.layer_forwards_executed += self.fi.num_layers - skipped
                     return logits, True
-                logits = model(Tensor(self.pool_images[idx])).data
+                with prof.span("campaign.forward", cat="campaign", layer=layer_idx):
+                    logits = model(Tensor(self.pool_images[idx])).data
                 self.perf.layer_forwards_executed += self.fi.num_layers
                 return logits, False
         finally:
@@ -295,9 +317,15 @@ class InjectionCampaign:
         tracer records per-layer clean-vs-perturbed divergence and emits
         one telemetry event per injection; observation never changes the
         campaign's outcomes, RNG stream, or cache statistics.
+
+        ``progress`` accepts a ``callable(done, total)``, or ``True`` for
+        the default :class:`~repro.profile.CampaignHeartbeat` printing
+        injections/sec, cache hit rate, and ETA to stderr at a fixed
+        interval.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+        progress = coerce_progress(progress, self)
         observer = None
         if observe is not None and observe is not False:
             from ..observe import coerce_tracer
@@ -306,10 +334,16 @@ class InjectionCampaign:
             observer.attach(self)
             self.observer = observer
         started = time.perf_counter()
+        prof = self.profiler
+        chunk_hist = prof.metrics.histogram(
+            "campaign.chunk_seconds", help="wall clock per injection chunk"
+        ) if prof.enabled else None
+        cache = self._resume.cache if self._resume is not None else None
         per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
         per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
         corrupted_total = 0
-        pool_idx, layers, coords, seeds = self._plan(n_injections)
+        with prof.span("campaign.plan", cat="campaign", injections=n_injections):
+            pool_idx, layers, coords, seeds = self._plan(n_injections)
         events = [None] * n_injections if trace is not None else None
         done = 0
         try:
@@ -318,10 +352,24 @@ class InjectionCampaign:
             for positions in self._chunks(layers, n_injections):
                 layer_idx = int(layers[positions[0]])
                 idx = pool_idx[positions]
-                chunk_started = time.perf_counter()
-                logits, resumed = self._execute_chunk(
-                    layer_idx, positions, pool_idx, coords, seeds, observer=observer)
-                chunk_elapsed = time.perf_counter() - chunk_started
+                cache_before = (
+                    (cache.hits, cache.misses, cache.evictions)
+                    if cache is not None and prof.enabled else None
+                )
+                with prof.span("campaign.chunk", cat="campaign", layer=layer_idx,
+                               injections=len(positions)) as chunk_span:
+                    chunk_started = time.perf_counter()
+                    logits, resumed = self._execute_chunk(
+                        layer_idx, positions, pool_idx, coords, seeds, observer=observer)
+                    chunk_elapsed = time.perf_counter() - chunk_started
+                    chunk_span.annotate(resumed=resumed)
+                    if cache_before is not None:
+                        chunk_span.annotate(
+                            cache_hits=cache.hits - cache_before[0],
+                            cache_misses=cache.misses - cache_before[1],
+                            cache_evictions=cache.evictions - cache_before[2])
+                if chunk_hist is not None:
+                    chunk_hist.observe(chunk_elapsed)
                 self.perf.forwards += 1
                 self.perf.resumed_forwards += int(resumed)
                 flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
@@ -345,19 +393,21 @@ class InjectionCampaign:
                             margin_after=float(margins_after[b]),
                         )
                 if observer is not None:
-                    observer.record_chunk(
-                        positions=positions,
-                        layer_idx=layer_idx,
-                        pool_indices=[int(i) for i in idx],
-                        coords=[coords[p] for p in positions],
-                        seeds=[int(seeds[p]) for p in positions],
-                        labels=self.pool_labels[idx],
-                        clean_predicted=self.pool_logits[idx].argmax(axis=1),
-                        logits=logits,
-                        flags=flags,
-                        resumed=resumed,
-                        latency_s=chunk_elapsed,
-                    )
+                    with prof.span("campaign.observe", cat="campaign",
+                                   phase="record", layer=layer_idx):
+                        observer.record_chunk(
+                            positions=positions,
+                            layer_idx=layer_idx,
+                            pool_indices=[int(i) for i in idx],
+                            coords=[coords[p] for p in positions],
+                            seeds=[int(seeds[p]) for p in positions],
+                            labels=self.pool_labels[idx],
+                            clean_predicted=self.pool_logits[idx].argmax(axis=1),
+                            logits=logits,
+                            flags=flags,
+                            resumed=resumed,
+                            latency_s=chunk_elapsed,
+                        )
                 done += len(positions)
                 if progress is not None:
                     progress(done, n_injections)
@@ -373,6 +423,8 @@ class InjectionCampaign:
                 self.perf.cache_misses = cache.misses
                 self.perf.cache_evictions = cache.evictions
                 self.perf.cache_bytes = cache.bytes_used
+            if prof.enabled:
+                self.perf.publish(prof.metrics)
             result = CampaignResult(
                 network=self.network_name,
                 criterion=self.criterion_name,

@@ -6,8 +6,11 @@ Commands
 ``list-experiments``       show every reproducible figure/table + ablations
 ``run <experiment>``       regenerate one figure/table (``--scale``, ``--seed``)
 ``profile <model>``        print a model's FaultInjection layer table
+``profile --model <m>``    runtime-profile a forward (or ``--campaign N``) and
+                           write Chrome-trace + summary artifacts
 ``inject <model>``         one-shot random injection on a zoo model (``--json``)
 ``report <log.jsonl>``     render a campaign telemetry log as markdown/JSON
+                           (``--profile`` merges a profile summary)
 """
 
 from __future__ import annotations
@@ -58,13 +61,49 @@ def _cmd_run(args):
     return 0
 
 
+class _SelfLabelledDataset:
+    """Synthetic inputs labelled with the model's own clean predictions.
+
+    The runtime profiler campaigns untrained zoo models; self-labelling
+    gives the campaign a 100%-clean-accuracy input pool so pool screening
+    never rejects everything.
+    """
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        from .tensor import Tensor, no_grad
+
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
 def _cmd_profile(args):
+    model_name = args.model_flag or args.model
+    if model_name is None:
+        print("error: profile needs a model (positional or --model)", file=sys.stderr)
+        return 2
+    if args.model_flag is None and not args.campaign:
+        return _profile_layer_table(args, model_name)
+    return _profile_runtime(args, model_name)
+
+
+def _profile_layer_table(args, model_name):
+    """The static profile: the FaultInjection per-layer geometry table."""
     from . import models
     from .core import FaultInjection
     from .tensor import manual_seed, spawn
 
     manual_seed(args.seed)
-    net = models.get_model(args.model, args.dataset, scale=args.scale, rng=spawn(1))
+    net = models.get_model(model_name, args.dataset, scale=args.scale, rng=spawn(1))
     _, size = models.dataset_preset(args.dataset)
     fi = FaultInjection(net, batch_size=1, input_shape=(3, size, size))
     print(fi.summary())
@@ -72,6 +111,59 @@ def _cmd_profile(args):
     print(f"total neurons per example:   {fi.total_neurons():,}")
     print(f"total weights:               {fi.total_weights():,}")
     print(f"trainable parameters:        {net.num_parameters():,}")
+    return 0
+
+
+def _profile_runtime(args, model_name):
+    """The runtime profile: spans + metrics + Chrome-trace artifacts."""
+    from . import models, tensor
+    from .campaign import InjectionCampaign
+    from .data import SyntheticClassification
+    from .profile import Profiler, profile_model, text_table, write_artifacts
+
+    try:
+        models.dataset_preset(args.dataset)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.campaign:
+            tensor.manual_seed(args.seed)
+            net = models.get_model(model_name, args.dataset, scale=args.scale,
+                                   rng=tensor.spawn(args.seed))
+            net.eval()
+            classes, size = models.dataset_preset(args.dataset)
+            dataset = _SelfLabelledDataset(
+                net, SyntheticClassification(num_classes=classes, image_size=size,
+                                             seed=args.seed + 1))
+            profiler = Profiler()
+            campaign = InjectionCampaign(
+                net, dataset, batch_size=args.batch_size,
+                pool_size=max(32, 2 * args.batch_size), rng=args.seed,
+                network_name=model_name, profiler=profiler)
+            result = campaign.run(args.campaign, progress=True)
+            meta = {
+                "mode": "campaign",
+                "model": model_name,
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "seed": args.seed,
+                "injections": args.campaign,
+                "corruptions": result.corruptions,
+            }
+        else:
+            _, profiler, meta = profile_model(
+                model_name, dataset=args.dataset, scale=args.scale,
+                seed=args.seed, batch_size=args.batch_size)
+            meta["mode"] = "forward"
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    paths = write_artifacts(profiler, args.out_dir, stem=model_name, meta=meta)
+    print(text_table(profiler, meta=meta))
+    print()
+    for kind in ("trace", "summary_json", "summary_txt"):
+        print(f"wrote {paths[kind]}")
     return 0
 
 
@@ -143,18 +235,28 @@ def _cmd_report(args):
     from .observe import aggregate, load_events, render_json, render_markdown, timing_summary
 
     path = Path(args.log)
-    if not path.exists():
-        print(f"error: no such event log: {path}", file=sys.stderr)
+    try:
+        events = load_events(path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    events = load_events(path)
     if not events:
         print(f"error: {path} holds no decodable events", file=sys.stderr)
-        return 1
+        return 2
+    profile = None
+    if args.profile:
+        profile_path = Path(args.profile)
+        if not profile_path.exists():
+            print(f"error: no such profile summary: {profile_path}", file=sys.stderr)
+            return 2
+        profile = json.loads(profile_path.read_text())
     report = aggregate(events)
+    if profile is not None:
+        report["profile"] = profile
     if args.format == "json":
         out = render_json(report)
     else:
-        out = render_markdown(report, timing=timing_summary(events))
+        out = render_markdown(report, timing=timing_summary(events), profile=profile)
     if args.out:
         Path(args.out).write_text(out + "\n")
         print(f"wrote {args.out}")
@@ -182,7 +284,10 @@ def build_parser():
 
     for name, fn in (("profile", _cmd_profile), ("inject", _cmd_inject)):
         p = sub.add_parser(name, help=f"{name} a zoo model")
-        p.add_argument("model")
+        if name == "profile":
+            p.add_argument("model", nargs="?", default=None)
+        else:
+            p.add_argument("model")
         p.add_argument("--dataset", default="cifar10")
         p.add_argument("--scale", choices=("smoke", "small", "paper"), default="small")
         p.add_argument("--seed", type=int, default=0)
@@ -191,6 +296,16 @@ def build_parser():
                            help="restrict the injection to one instrumentable layer")
             p.add_argument("--json", action="store_true",
                            help="emit one machine-readable JSON object on stdout")
+        else:
+            p.add_argument("--model", dest="model_flag", default=None, metavar="NAME",
+                           help="runtime-profile this model and write Chrome-trace "
+                                "+ summary artifacts (vs. the static layer table)")
+            p.add_argument("--campaign", type=int, default=0, metavar="N",
+                           help="profile a small N-injection campaign instead of "
+                                "one forward")
+            p.add_argument("--batch-size", type=int, default=1)
+            p.add_argument("--out-dir", default="results/profile",
+                           help="artifact directory (default: results/profile)")
         p.set_defaults(fn=fn)
 
     report_parser = sub.add_parser(
@@ -198,6 +313,9 @@ def build_parser():
     report_parser.add_argument("log", help="JSONL event log written by an observed campaign")
     report_parser.add_argument("--format", choices=("markdown", "json"), default="markdown")
     report_parser.add_argument("--out", default=None, help="write the report to a file")
+    report_parser.add_argument("--profile", default=None, metavar="SUMMARY_JSON",
+                               help="merge a repro.profile summary JSON "
+                                    "(from `repro profile`) into the report")
     report_parser.set_defaults(fn=_cmd_report)
     return parser
 

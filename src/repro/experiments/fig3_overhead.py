@@ -28,8 +28,15 @@ _TIER = {
 }
 
 
-def run(scale="small", seed=0, sweep_batch=False, model_scale=None):
-    """Measure the roster; returns ``{"measurements": [...], "sweep": [...]}``."""
+def run(scale="small", seed=0, sweep_batch=False, model_scale=None, profile_dir=None):
+    """Measure the roster; returns ``{"measurements": [...], "sweep": [...]}``.
+
+    ``profile_dir`` additionally runs one *profiled* forward of the first
+    roster model (per-layer spans via :mod:`repro.profile`) and writes
+    Chrome-trace + summary artifacts there — the per-layer view behind the
+    figure's aggregate claim.  Profiling is a separate forward; it never
+    touches the timed measurements.
+    """
     check_scale(scale)
     tier = _TIER[scale]
     model_scale = model_scale or scale
@@ -58,7 +65,19 @@ def run(scale="small", seed=0, sweep_batch=False, model_scale=None):
             net, (3, input_size, input_size), batch_sizes=tier["batches"],
             trials=tier["trials"], network=name, dataset=dataset, rng=seed + 1,
         )
-    return {"measurements": measurements, "sweep": sweep}
+    profile_paths = {}
+    if profile_dir is not None:
+        from ..profile import profile_model, write_artifacts
+
+        name, dataset = roster[0]
+        _, profiler, meta = profile_model(name, dataset=dataset,
+                                          scale=model_scale, seed=seed)
+        meta["experiment"] = "fig3_overhead"
+        paths = write_artifacts(profiler, profile_dir, stem=f"fig3_{name}",
+                                meta=meta)
+        profile_paths = {kind: str(path) for kind, path in paths.items()}
+    return {"measurements": measurements, "sweep": sweep,
+            "profile_paths": profile_paths}
 
 
 def report(results):
@@ -99,6 +118,11 @@ def report(results):
             for m in results["sweep"]
         ]
         out.append(format_table(("batch", "base ms", "FI ms", "delta %"), rows))
+    if results.get("profile_paths"):
+        out.append("")
+        out.append("Per-layer profile artifacts (repro.profile):")
+        for kind, path in sorted(results["profile_paths"].items()):
+            out.append(f"  {kind:<12} {path}")
     return "\n".join(out)
 
 
@@ -106,8 +130,12 @@ def main(argv=None):
     parser = standard_parser(__doc__.splitlines()[0])
     parser.add_argument("--sweep-batch", action="store_true",
                         help="also run the batch-size sweep of §III-C")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="also write a per-layer runtime profile of the "
+                             "first roster model (Chrome trace + summary)")
     args = parser.parse_args(argv)
-    results = run(scale=args.scale, seed=args.seed, sweep_batch=args.sweep_batch)
+    results = run(scale=args.scale, seed=args.seed, sweep_batch=args.sweep_batch,
+                  profile_dir=args.profile_dir)
     print(report(results))
     return results
 

@@ -122,8 +122,15 @@ def render_json(report):
     return json.dumps(report, indent=2, sort_keys=True)
 
 
-def render_markdown(report, timing=None):
-    """A human-readable report: summary lines plus a per-layer table."""
+def render_markdown(report, timing=None, profile=None):
+    """A human-readable report: summary lines plus a per-layer table.
+
+    ``profile`` optionally merges a :func:`repro.profile.summary` dict
+    (e.g. the ``*_summary.json`` written by ``repro profile``) as a
+    "Profile" section — top spans by self-time plus the profiler's own
+    overhead — so one report answers both *what the faults did* and
+    *where the time went*.
+    """
     summary = report["summary"]
     lines = [
         "# Campaign telemetry report",
@@ -145,15 +152,15 @@ def render_markdown(report, timing=None):
         "| nan/inf | masked in net | mean depth | mean L2@target |",
         "|---|---|---|---|---|---|---|---|---|---|",
     ]
-    for profile in report["layers"]:
-        outcomes = profile["outcomes"]
+    for layer_row in report["layers"]:
+        outcomes = layer_row["outcomes"]
         lines.append(
-            f"| {profile['layer']} | {profile['injections']} | "
-            f"{profile['corruptions']} | {profile['corruption_rate']:.4f} | "
+            f"| {layer_row['layer']} | {layer_row['injections']} | "
+            f"{layer_row['corruptions']} | {layer_row['corruption_rate']:.4f} | "
             f"{outcomes[OUTCOME_MASKED]} | {outcomes[OUTCOME_MISCLASSIFIED]} | "
-            f"{outcomes[OUTCOME_DETECTED]} | {profile['masked_in_network']} | "
-            f"{profile['mean_divergence_depth']:.2f} | "
-            f"{profile['mean_l2_at_target']:.4g} |"
+            f"{outcomes[OUTCOME_DETECTED]} | {layer_row['masked_in_network']} | "
+            f"{layer_row['mean_divergence_depth']:.2f} | "
+            f"{layer_row['mean_l2_at_target']:.4g} |"
         )
     if timing is not None and timing.get("observed"):
         lines += [
@@ -164,4 +171,22 @@ def render_markdown(report, timing=None):
             f"- total observed time: {timing['total_s']:.3f} s",
             f"- mean latency per injection: {timing['mean_latency_s'] * 1e3:.3f} ms",
         ]
+    if profile is not None and profile.get("spans"):
+        top = sorted(profile["spans"], key=lambda row: row["self_s"], reverse=True)[:10]
+        lines += [
+            "",
+            "## Profile",
+            "",
+            f"- recorded wall clock: {profile.get('total_s', 0.0):.3f} s "
+            f"over {profile.get('num_spans', 0)} spans",
+            f"- profiler overhead: {profile.get('overhead_s', 0.0) * 1e3:.3f} ms",
+            "",
+            "| span | count | total ms | self ms | alloc bytes |",
+            "|---|---|---|---|---|",
+        ]
+        for row in top:
+            lines.append(
+                f"| {row['path']} | {row['count']} | {row['total_s'] * 1e3:.3f} | "
+                f"{row['self_s'] * 1e3:.3f} | {row['alloc_bytes']} |"
+            )
     return "\n".join(lines)

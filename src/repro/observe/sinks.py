@@ -40,24 +40,44 @@ class JsonlEventSink:
     The file is opened lazily on the first :meth:`emit` (constructing a
     sink never touches the filesystem) in append mode, so one log can
     accumulate several campaigns.  Every event is written as a single
-    sorted-key JSON line and flushed immediately.
+    sorted-key JSON line.
+
+    ``flush_every`` trades durability for throughput: the default (1)
+    flushes after every event, so a crashed campaign loses at most one
+    line; ``flush_every=N`` flushes once per N events — large observed
+    campaigns stop paying one syscall per injection.  The sink always
+    flushes on :meth:`close` and on context-manager exit, whatever the
+    setting.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, flush_every=1):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = Path(path)
+        self.flush_every = int(flush_every)
         self._fh = None
+        self._unflushed = 0
 
     def emit(self, event):
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a", encoding="utf-8")
         self._fh.write(json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self._fh.flush()
+            self._unflushed = 0
+
+    def flush(self):
+        if self._fh is not None:
+            self._fh.flush()
+            self._unflushed = 0
 
     def close(self):
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+            self._unflushed = 0
 
     def __enter__(self):
         return self
@@ -76,9 +96,13 @@ def load_events(path, strict=False):
     Blank lines are ignored.  A line that does not decode (torn trailing
     write, truncated copy, stray editor garbage) is skipped with a
     :class:`RuntimeWarning` naming the line number — pass ``strict=True``
-    to raise instead.
+    to raise instead.  A missing file raises :class:`FileNotFoundError`
+    with a one-line message (callers like ``repro report`` surface it and
+    exit rc=2 instead of tracing back).
     """
     path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such event log: {path}")
     events = []
     with path.open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):

@@ -62,6 +62,38 @@ class CampaignPerfCounters:
         self.resume_enabled = resume_enabled
         return self
 
+    def publish(self, registry, prefix="campaign"):
+        """Publish every counter into a :class:`repro.profile.MetricsRegistry`.
+
+        Lifetime tallies become monotonic counters (``set_floor`` keeps a
+        republish after each ``run()`` idempotent); derived rates and
+        configuration become gauges.  Returns the registry for chaining.
+        """
+        tallies = {
+            "injections": self.injections,
+            "elapsed_seconds": self.elapsed_seconds,
+            "forwards": self.forwards,
+            "resumed_forwards": self.resumed_forwards,
+            "capture_forwards": self.capture_forwards,
+            "layer_forwards_executed": self.layer_forwards_executed,
+            "layer_forwards_skipped": self.layer_forwards_skipped,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+        }
+        for name, value in tallies.items():
+            registry.counter(f"{prefix}.{name}").set_floor(value)
+        gauges = {
+            "injections_per_sec": self.injections_per_sec,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fraction_layer_forwards_skipped": self.fraction_layer_forwards_skipped,
+            "cache_bytes": self.cache_bytes,
+            "resume_enabled": int(self.resume_enabled),
+        }
+        for name, value in gauges.items():
+            registry.gauge(f"{prefix}.{name}").set(value)
+        return registry
+
     def as_dict(self):
         """A flat JSON-serialisable snapshot (for benchmark records)."""
         return {

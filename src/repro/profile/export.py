@@ -1,0 +1,160 @@
+"""Exporters for profiler runs: Chrome trace JSON, text table, JSON summary.
+
+The Chrome trace uses the trace-event format (``ph``/``ts``/``dur``
+complete events, microsecond timestamps) and loads directly in Perfetto
+or ``chrome://tracing``.  The text table and JSON summary aggregate spans
+by their root-to-leaf name path, reporting per-path call counts, total
+and self time, allocation bytes, and profiler overhead — self-times are
+disjoint, so any subtree's rows sum to ≤ its wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SUMMARY_SCHEMA_VERSION = 1
+
+
+def chrome_trace_events(profiler, pid=1, tid=1):
+    """Render every recorded span as a Chrome trace-event ``X`` event."""
+    spans = list(profiler.spans)
+    origin = min((s.start for s in spans), default=0.0)
+    events = [
+        {"ph": "M", "pid": pid, "tid": tid, "ts": 0,
+         "name": "process_name", "args": {"name": "repro.profile"}},
+    ]
+    for span in spans:
+        args = dict(span.args)
+        args["self_us"] = round(span.self_seconds * 1e6, 3)
+        if span.alloc_bytes:
+            args["alloc_bytes"] = int(span.alloc_bytes)
+        if span.overhead_s:
+            args["profiler_overhead_us"] = round(span.overhead_s * 1e6, 3)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ts": round((span.start - origin) * 1e6, 3),
+            "dur": round(span.duration_s * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(profiler, path):
+    """Write a Perfetto/``chrome://tracing``-loadable trace JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(profiler),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+def _aggregate_rows(profiler):
+    """Fold spans into per-path rows, preserving first-seen (tree) order."""
+    rows = {}
+    order = []
+    for root in profiler.roots:
+        for span in root.walk():
+            key = span.path()
+            row = rows.get(key)
+            if row is None:
+                row = {
+                    "path": "/".join(key),
+                    "name": span.name,
+                    "depth": len(key) - 1,
+                    "cat": span.cat,
+                    "count": 0,
+                    "total_s": 0.0,
+                    "self_s": 0.0,
+                    "alloc_bytes": 0,
+                    "overhead_s": 0.0,
+                }
+                rows[key] = row
+                order.append(key)
+            row["count"] += 1
+            row["total_s"] += span.duration_s
+            row["self_s"] += span.self_seconds
+            row["alloc_bytes"] += span.alloc_bytes
+            row["overhead_s"] += span.overhead_s
+    return [rows[key] for key in order]
+
+
+def summary(profiler, meta=None):
+    """A JSON-serialisable run summary: rows + totals + metrics snapshot."""
+    rows = _aggregate_rows(profiler)
+    out = {
+        "schema": SUMMARY_SCHEMA_VERSION,
+        "total_s": profiler.total_seconds,
+        "overhead_s": profiler.overhead_s,
+        "num_spans": len(profiler.spans),
+        "spans": rows,
+        "metrics": profiler.metrics.snapshot(),
+    }
+    if meta:
+        out["meta"] = dict(meta)
+    return out
+
+
+def _fmt_bytes(n):
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.2f}G"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f}M"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}K"
+    return str(n)
+
+
+def text_table(profiler, meta=None):
+    """A hierarchical text rendering of the span tree (indent = depth)."""
+    rows = _aggregate_rows(profiler)
+    lines = []
+    if meta:
+        lines.append("profile: " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    lines.append(
+        f"{'span':<44} {'count':>6} {'total ms':>10} {'self ms':>10} {'alloc':>8}"
+    )
+    lines.append("-" * 82)
+    for row in rows:
+        label = "  " * row["depth"] + row["name"]
+        if len(label) > 44:
+            label = label[:41] + "..."
+        lines.append(
+            f"{label:<44} {row['count']:>6} {row['total_s'] * 1e3:>10.3f} "
+            f"{row['self_s'] * 1e3:>10.3f} {_fmt_bytes(row['alloc_bytes']):>8}"
+        )
+    lines.append("-" * 82)
+    lines.append(
+        f"{'recorded wall clock':<44} {'':>6} {profiler.total_seconds * 1e3:>10.3f}"
+    )
+    lines.append(
+        f"{'profiler overhead':<44} {'':>6} {profiler.overhead_s * 1e3:>10.3f}"
+    )
+    return "\n".join(lines)
+
+
+def write_artifacts(profiler, out_dir, stem="profile", meta=None):
+    """Write the three artifacts under ``out_dir``; returns their paths.
+
+    ``<stem>_trace.json`` (Chrome trace events), ``<stem>_summary.json``
+    (machine summary incl. metrics snapshot), ``<stem>_summary.txt``
+    (hierarchical table).
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace": write_chrome_trace(profiler, out_dir / f"{stem}_trace.json"),
+        "summary_json": out_dir / f"{stem}_summary.json",
+        "summary_txt": out_dir / f"{stem}_summary.txt",
+    }
+    paths["summary_json"].write_text(
+        json.dumps(summary(profiler, meta=meta), indent=2, sort_keys=True) + "\n")
+    paths["summary_txt"].write_text(text_table(profiler, meta=meta) + "\n")
+    return paths

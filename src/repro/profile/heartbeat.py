@@ -1,0 +1,83 @@
+"""Default campaign progress printer (``campaign.run(..., progress=True)``).
+
+One line per tick on stderr — injections done, throughput, cache hit
+rate, ETA — rate-limited to a fixed wall-clock interval so a million-
+injection campaign does not drown its own log.  The final tick (done ==
+total) always prints, so short campaigns emit at least one line.
+
+The heartbeat only *reads* campaign state (live cache tallies, counts);
+it draws from no RNG and mutates nothing, keeping the progress path under
+the same invariance bar as the profiler and the observer.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class CampaignHeartbeat:
+    """A ``progress(done, total)`` callable with throughput/cache/ETA."""
+
+    def __init__(self, campaign=None, interval_s=1.0, stream=None, clock=time.perf_counter):
+        self.campaign = campaign
+        self.interval_s = float(interval_s)
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.ticks = 0
+        self._started = None
+        self._first_done = 0
+        self._last_emit = None
+
+    def _cache_hit_rate(self):
+        campaign = self.campaign
+        if campaign is None or getattr(campaign, "_resume", None) is None:
+            return None
+        cache = campaign._resume.cache
+        total = cache.hits + cache.misses
+        return cache.hits / total if total else None
+
+    def __call__(self, done, total):
+        now = self.clock()
+        if self._started is None:
+            # First tick fires after the first chunk; anchor the rate clock
+            # here and let later ticks measure marginal throughput.
+            self._started = now
+            self._first_done = done
+        final = done >= total
+        if not final and self._last_emit is not None \
+                and now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        elapsed = now - self._started
+        rate = (done - self._first_done) / elapsed if elapsed > 0 else 0.0
+        parts = [f"[campaign] {done}/{total} injections"]
+        if rate > 0:
+            parts.append(f"{rate:.1f} inj/s")
+            if not final:
+                parts.append(f"eta {(total - done) / rate:.1f}s")
+        hit_rate = self._cache_hit_rate()
+        if hit_rate is not None:
+            parts.append(f"cache hit {hit_rate:.0%}")
+        if final:
+            parts.append("done")
+        print(" | ".join(parts), file=self.stream, flush=True)
+        self.ticks += 1
+
+
+def coerce_progress(progress, campaign):
+    """Normalise ``InjectionCampaign.run``'s ``progress=`` argument.
+
+    ``None``/``False`` → no reporting; ``True`` → a default
+    :class:`CampaignHeartbeat` bound to the campaign; any callable passes
+    through unchanged.
+    """
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        return CampaignHeartbeat(campaign)
+    if callable(progress):
+        return progress
+    raise TypeError(
+        f"progress must be a callable, a bool, or None; got {type(progress).__name__}"
+    )

@@ -1,0 +1,125 @@
+"""Automatic per-layer profiling via ``nn.Module`` forward hooks.
+
+:func:`instrument` attaches one forward pre-hook / forward hook pair to
+every module of a model; each forward of a module opens a span named
+after its dotted path, tagged with the layer type, and annotated on close
+with the output shape and dtype.  Because containers call their children
+inside their own forward, the spans nest into the module tree exactly —
+a ``Sequential`` span encloses its convolutions' spans — which is what
+makes the Chrome-trace view a layer flame graph.
+
+The hooks return ``None`` always (they never replace inputs or outputs),
+draw from no random generator, and only read the output's ``shape`` /
+``dtype``, so an instrumented forward is bit-identical to a plain one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .. import tensor as T
+from ..tensor import Tensor, no_grad
+from .profiler import Profiler
+
+
+def _shape_of(output):
+    if isinstance(output, Tensor):
+        return tuple(int(s) for s in output.shape), str(output.dtype)
+    if isinstance(output, (tuple, list)) and output:
+        return _shape_of(output[0])
+    return None, None
+
+
+@contextmanager
+def instrument(model, profiler, prefix=""):
+    """Profile every module forward of ``model`` while the context is open.
+
+    One span per module call, named by the module's dotted path (the root
+    module uses its class name), category ``"layer"``, tagged with
+    ``type`` and — after the forward — ``shape`` and ``dtype``.  Handles
+    are removed on exit even if the forward raises; an exception mid-
+    forward also unwinds any spans left open by never-fired post-hooks.
+    """
+    opened = []  # stack of span contexts, pushed by pre-hooks
+    handles = []
+
+    def make_pre(name, module_type):
+        def pre_hook(module, inputs):
+            ctx = profiler.span(name, cat="layer", type=module_type)
+            ctx.__enter__()
+            opened.append(ctx)
+        return pre_hook
+
+    def post_hook(module, inputs, output):
+        if not opened:
+            return None
+        ctx = opened.pop()
+        span = ctx._span if hasattr(ctx, "_span") else None
+        if span is not None:
+            shape, dtype = _shape_of(output)
+            if shape is not None:
+                span.annotate(shape=list(shape), dtype=dtype)
+        ctx.__exit__(None, None, None)
+        return None
+
+    for name, module in model.named_modules(prefix=prefix):
+        module_type = type(module).__name__
+        label = f"{name} ({module_type})" if name else module_type
+        handles.append(module.register_forward_pre_hook(make_pre(label, module_type)))
+        handles.append(module.register_forward_hook(post_hook))
+    try:
+        yield model
+    finally:
+        for handle in handles:
+            handle.remove()
+        while opened:  # forward raised: close abandoned spans innermost-first
+            opened.pop().__exit__(None, None, None)
+
+
+def profile_forward(model, x, profiler=None, warmup=0, label="forward"):
+    """Profile ``model(x)`` per layer; returns ``(output, profiler)``.
+
+    ``warmup`` extra unprofiled forwards run first (JIT-free numpy has no
+    compile step, but allocator warm-up still shifts first-call timings).
+    The profiled forward runs under one root span named ``label`` so the
+    per-layer spans always have a wall-clock parent to sum against.
+    """
+    profiler = profiler if profiler is not None else Profiler()
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for _ in range(warmup):
+                model(x)
+            with instrument(model, profiler):
+                with profiler.span(label, cat="phase", batch=int(x.shape[0])):
+                    output = model(x)
+    finally:
+        model.train(was_training)
+    return output, profiler
+
+
+def profile_model(name, dataset="cifar10", scale="small", seed=0, batch_size=1,
+                  profiler=None, warmup=0):
+    """Build a zoo model and profile one forward (the CLI entry point).
+
+    Returns ``(output, profiler, fi_summaryish)`` where the last element
+    is a dict describing what was profiled (model/dataset/shape), merged
+    into the JSON summary artifact.
+    """
+    from .. import models
+
+    T.manual_seed(seed)
+    net = models.get_model(name, dataset, scale=scale, rng=T.spawn(seed))
+    _, size = models.dataset_preset(dataset)
+    x = T.randn(batch_size, 3, size, size, rng=seed + 1)
+    output, profiler = profile_forward(net, x, profiler=profiler, warmup=warmup)
+    meta = {
+        "model": name,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "batch_size": batch_size,
+        "input_shape": [3, size, size],
+    }
+    return output, profiler, meta

@@ -1,0 +1,206 @@
+"""A small process-local metrics registry (counters, gauges, histograms).
+
+Prometheus-shaped but dependency-free: a :class:`MetricsRegistry` owns
+named metric instances, ``snapshot()`` renders the whole registry as one
+stable JSON-serialisable dict, and :func:`MetricsRegistry.from_snapshot`
+rebuilds a registry from such a dict — the round trip is exact, which is
+what lets campaign telemetry carry metric state between processes.
+
+:class:`~repro.perf.CampaignPerfCounters` publishes into a registry via
+``publish()``; the profiler owns one (``Profiler.metrics``) so traces and
+metrics travel together.
+"""
+
+from __future__ import annotations
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+# Bucket upper bounds (seconds) tuned for per-chunk campaign latencies:
+# sub-millisecond stubs up to multi-second full forwards.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class Counter:
+    """Monotonically non-decreasing tally."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+        return self.value
+
+    def set_floor(self, value):
+        """Raise the counter to ``value`` if it is below (idempotent publish).
+
+        Lifetime tallies like :class:`CampaignPerfCounters` republish their
+        absolute totals after every run; treating the publish as a floor
+        keeps the counter monotonic without the publisher tracking deltas.
+        """
+        if value > self.value:
+            self.value = value
+        return self.value
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def dec(self, amount=1):
+        self.value -= amount
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name, help="", buckets=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last bucket is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and exact snapshotting."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name, help=""):
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name, help=""):
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def __getitem__(self, name):
+        return self._metrics[name]
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def snapshot(self):
+        """A stable, JSON-serialisable dict of the whole registry.
+
+        Keys are sorted so equal registries snapshot to equal dicts; the
+        result survives ``json.dumps``/``loads`` unchanged (tuples are
+        rendered as lists up front).
+        """
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = {"help": metric.help, "value": metric.value}
+            elif isinstance(metric, Gauge):
+                gauges[name] = {"help": metric.help, "value": metric.value}
+            else:
+                histograms[name] = {
+                    "help": metric.help,
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        """Rebuild a registry whose ``snapshot()`` equals ``snapshot``."""
+        schema = snapshot.get("schema")
+        if schema != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported metrics snapshot schema {schema!r} "
+                f"(expected {SNAPSHOT_SCHEMA_VERSION})"
+            )
+        registry = cls()
+        for name, entry in snapshot.get("counters", {}).items():
+            counter = registry.counter(name, help=entry.get("help", ""))
+            counter.value = entry["value"]
+        for name, entry in snapshot.get("gauges", {}).items():
+            gauge = registry.gauge(name, help=entry.get("help", ""))
+            gauge.value = entry["value"]
+        for name, entry in snapshot.get("histograms", {}).items():
+            hist = registry.histogram(name, help=entry.get("help", ""),
+                                      buckets=entry["buckets"])
+            hist.counts = list(entry["counts"])
+            hist.count = entry["count"]
+            hist.sum = entry["sum"]
+            hist.min = entry["min"]
+            hist.max = entry["max"]
+        return registry
+
+    def __repr__(self):
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -33,6 +33,26 @@ def _unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
+# Optional allocation observer (see repro.profile): when set, every Tensor
+# construction reports its backing buffer size.  A single module-global
+# None-check per construction keeps the disabled path free.
+_ALLOC_HOOK = None
+
+
+def set_alloc_hook(hook):
+    """Install ``hook(nbytes)`` called on every Tensor construction (or None).
+
+    Used by :class:`repro.profile.Profiler` to charge tensor allocations to
+    the innermost open span.  Only one hook can be live at a time; the
+    caller is responsible for restoring the previous value.  Returns the
+    hook that was previously installed.
+    """
+    global _ALLOC_HOOK
+    previous = _ALLOC_HOOK
+    _ALLOC_HOOK = hook
+    return previous
+
+
 def _coerce_operand(value, like):
     """Coerce a python scalar / ndarray to a Tensor matching ``like``'s device."""
     if isinstance(value, Tensor):
@@ -73,6 +93,8 @@ class Tensor:
         self._ctx = None
         self._retains_grad = False
         self.device = as_device(device)
+        if _ALLOC_HOOK is not None:
+            _ALLOC_HOOK(arr.nbytes)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -143,6 +165,8 @@ class Tensor:
         out.requires_grad = needs
         if needs:
             out._ctx = GradContext(parents, backward_fn, name)
+        if _ALLOC_HOOK is not None:
+            _ALLOC_HOOK(data.nbytes)
         return out
 
     def detach(self):

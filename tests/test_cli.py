@@ -132,5 +132,64 @@ class TestReportCommand:
     def test_empty_log_fails(self, tmp_path, capsys):
         log = tmp_path / "empty.jsonl"
         log.write_text("")
-        assert main(["report", str(log)]) == 1
+        assert main(["report", str(log)]) == 2
         assert "no decodable events" in capsys.readouterr().err
+
+    def test_missing_profile_summary_fails(self, event_log, tmp_path, capsys):
+        assert main(["report", str(event_log),
+                     "--profile", str(tmp_path / "nope.json")]) == 2
+        assert "no such profile summary" in capsys.readouterr().err
+
+    def test_profile_summary_merges_into_markdown(self, event_log, tmp_path, capsys):
+        summary = tmp_path / "prof_summary.json"
+        summary.write_text(json.dumps({
+            "total_s": 0.5, "overhead_s": 0.001, "num_spans": 2,
+            "spans": [{"path": "campaign.chunk", "count": 2, "total_s": 0.4,
+                       "self_s": 0.4, "alloc_bytes": 128}],
+        }))
+        assert main(["report", str(event_log), "--profile", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "## Profile" in out
+        assert "campaign.chunk" in out
+
+    def test_profile_summary_merges_into_json(self, event_log, tmp_path, capsys):
+        summary = tmp_path / "prof_summary.json"
+        summary.write_text(json.dumps({"total_s": 0.5, "spans": []}))
+        assert main(["report", str(event_log), "--format", "json",
+                     "--profile", str(summary)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["total_s"] == 0.5
+
+
+class TestProfileRuntimeCommand:
+    def test_profile_needs_a_model(self, capsys):
+        assert main(["profile"]) == 2
+        assert "needs a model" in capsys.readouterr().err
+
+    def test_unknown_model_fails(self, tmp_path, capsys):
+        assert main(["profile", "--model", "no_such_net", "--scale", "smoke",
+                     "--out-dir", str(tmp_path)]) == 2
+        assert "no_such_net" in capsys.readouterr().err
+
+    def test_forward_profile_writes_artifacts(self, tmp_path, capsys):
+        assert main(["profile", "--model", "alexnet", "--scale", "smoke",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded wall clock" in out
+        trace = json.loads((tmp_path / "alexnet_trace.json").read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert events and all("ts" in e and "dur" in e and "name" in e
+                              for e in events)
+        summary = json.loads((tmp_path / "alexnet_summary.json").read_text())
+        assert summary["meta"]["mode"] == "forward"
+        # Per-layer self-times never exceed the recorded wall clock.
+        assert sum(r["self_s"] for r in summary["spans"]) <= summary["total_s"] + 1e-9
+
+    def test_campaign_profile_writes_artifacts(self, tmp_path, capsys):
+        assert main(["profile", "--model", "alexnet", "--scale", "smoke",
+                     "--campaign", "4", "--out-dir", str(tmp_path)]) == 0
+        summary = json.loads((tmp_path / "alexnet_summary.json").read_text())
+        assert summary["meta"]["mode"] == "campaign"
+        paths = {r["path"] for r in summary["spans"]}
+        assert any("campaign.chunk" in p for p in paths)
+        assert "campaign.injections" in summary["metrics"]["counters"]

@@ -188,6 +188,47 @@ class TestSinks:
         assert list(sink) == [{"x": 1}]
         assert len(sink) == 1
 
+    def test_missing_log_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such event log"):
+            load_events(tmp_path / "absent.jsonl")
+
+    def test_flush_every_buffers_until_threshold(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlEventSink(path, flush_every=3)
+        sink.emit({"i": 0})
+        sink.emit({"i": 1})
+        # Two events buffered: a concurrent reader may see nothing yet.
+        assert len(load_events(path)) < 2
+        sink.emit({"i": 2})  # third event crosses the threshold
+        assert load_events(path) == [{"i": 0}, {"i": 1}, {"i": 2}]
+        sink.close()
+
+    def test_buffered_sink_flushes_on_close(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlEventSink(path, flush_every=100)
+        sink.emit({"i": 0})
+        sink.close()
+        assert load_events(path) == [{"i": 0}]
+
+    def test_buffered_sink_flushes_on_context_exit(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        with JsonlEventSink(path, flush_every=100) as sink:
+            sink.emit({"i": 0})
+            sink.emit({"i": 1})
+        assert load_events(path) == [{"i": 0}, {"i": 1}]
+
+    def test_explicit_flush(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlEventSink(path, flush_every=100)
+        sink.emit({"i": 0})
+        sink.flush()
+        assert load_events(path) == [{"i": 0}]
+        sink.close()
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlEventSink(tmp_path / "x.jsonl", flush_every=0)
+
 
 def _campaign(model, dataset, rng=11, resume=True, **kwargs):
     return InjectionCampaign(

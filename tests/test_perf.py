@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro import tensor as T
-from repro.perf import OverheadMeasurement, measure_overhead, sweep_batch_sizes, time_inference
+from repro.perf import (
+    CampaignPerfCounters,
+    OverheadMeasurement,
+    measure_overhead,
+    sweep_batch_sizes,
+    time_inference,
+)
+from repro.profile import MetricsRegistry
 
 
 class TestTimeInference:
@@ -59,3 +66,69 @@ class TestBatchSweep:
         measurements = sweep_batch_sizes(tiny_conv_net, (3, 16, 16),
                                          batch_sizes=(1, 16), trials=4, rng=6)
         assert measurements[1].base_mean_s > measurements[0].base_mean_s
+
+
+class TestCampaignPerfCounters:
+    def _filled(self):
+        return CampaignPerfCounters(
+            injections=100, elapsed_seconds=4.0, forwards=25,
+            resumed_forwards=20, capture_forwards=2,
+            layer_forwards_executed=30, layer_forwards_skipped=70,
+            cache_hits=60, cache_misses=40, cache_evictions=5,
+            cache_bytes=1024, resume_enabled=True,
+        )
+
+    def test_derived_rates(self):
+        perf = self._filled()
+        assert perf.injections_per_sec == pytest.approx(25.0)
+        assert perf.cache_hit_rate == pytest.approx(0.6)
+        assert perf.fraction_layer_forwards_skipped == pytest.approx(0.7)
+
+    def test_zero_division_edges(self):
+        perf = CampaignPerfCounters()
+        assert perf.injections_per_sec == 0.0
+        assert perf.cache_hit_rate == 0.0
+        assert perf.fraction_layer_forwards_skipped == 0.0
+        perf.injections = 10
+        perf.elapsed_seconds = -1.0  # pathological clock: still no crash
+        assert perf.injections_per_sec == 0.0
+
+    def test_reset_zeroes_tallies_and_keeps_config(self):
+        perf = self._filled()
+        result = perf.reset()
+        assert result is perf
+        assert perf.injections == 0
+        assert perf.elapsed_seconds == 0.0
+        assert perf.cache_hits == 0
+        assert perf.resume_enabled is True  # configuration survives
+
+    def test_as_dict_is_json_serialisable_and_complete(self):
+        import json
+
+        perf = self._filled()
+        d = perf.as_dict()
+        json.dumps(d)
+        assert d["injections"] == 100
+        assert d["cache_hit_rate"] == pytest.approx(0.6)
+        assert d["resume_enabled"] is True
+
+    def test_str_mentions_throughput(self):
+        assert "injections" in str(self._filled())
+
+    def test_publish_fills_a_metrics_registry(self):
+        perf = self._filled()
+        registry = perf.publish(MetricsRegistry())
+        assert registry["campaign.injections"].value == 100
+        assert registry["campaign.cache_hits"].value == 60
+        assert registry["campaign.injections_per_sec"].value == pytest.approx(25.0)
+        assert registry["campaign.resume_enabled"].value == 1
+
+    def test_publish_is_idempotent_and_monotonic(self):
+        perf = self._filled()
+        registry = MetricsRegistry()
+        perf.publish(registry)
+        perf.publish(registry)  # republish: set_floor keeps counters stable
+        assert registry["campaign.injections"].value == 100
+        perf.injections = 150
+        perf.publish(registry)
+        assert registry["campaign.injections"].value == 150

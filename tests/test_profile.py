@@ -1,0 +1,470 @@
+"""Tests for repro.profile: span tracer, metrics, instrumentation, exports."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro import tensor as T
+from repro.campaign import InjectionCampaign
+from repro.profile import (
+    CampaignHeartbeat,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    chrome_trace_events,
+    coerce_profiler,
+    coerce_progress,
+    instrument,
+    profile_forward,
+    summary,
+    text_table,
+    write_artifacts,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanTracer:
+    def test_single_span_records_duration(self):
+        prof = Profiler(clock=FakeClock(), track_allocations=False)
+        with prof.span("root"):
+            pass
+        # Clock ticks: enter t0=0, start=1; exit end=2, post=3.
+        assert len(prof.roots) == 1
+        span = prof.roots[0]
+        assert span.duration_s == pytest.approx(1.0)
+        assert span.overhead_s == pytest.approx(2.0)
+        assert prof.overhead_s == pytest.approx(2.0)
+
+    def test_nested_spans_and_self_time(self):
+        prof = Profiler(clock=FakeClock(), track_allocations=False)
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        outer, = prof.roots
+        inner, = outer.children
+        assert inner.parent is outer
+        # outer: start=1 end=6; inner: start=3 end=4, overhead 2.
+        assert outer.duration_s == pytest.approx(5.0)
+        assert inner.duration_s == pytest.approx(1.0)
+        # Self-time removes the child's window AND its bookkeeping cost.
+        assert outer.self_seconds == pytest.approx(5.0 - (1.0 + 2.0))
+
+    def test_sibling_spans_share_a_parent(self):
+        prof = Profiler(track_allocations=False)
+        with prof.span("parent"):
+            with prof.span("a"):
+                pass
+            with prof.span("b"):
+                pass
+        assert [c.name for c in prof.roots[0].children] == ["a", "b"]
+        assert len(prof.spans) == 3
+
+    def test_span_yields_itself_for_annotation(self):
+        prof = Profiler(track_allocations=False)
+        with prof.span("phase", layer=3) as span:
+            span.annotate(hits=7)
+        assert prof.roots[0].args == {"layer": 3, "hits": 7}
+
+    def test_path_and_walk(self):
+        prof = Profiler(track_allocations=False)
+        with prof.span("a"):
+            with prof.span("b"):
+                with prof.span("c"):
+                    pass
+        leaf = prof.spans[-1]
+        assert leaf.path() == ("a", "b", "c")
+        assert [s.name for s in prof.roots[0].walk()] == ["a", "b", "c"]
+
+    def test_decorator_opens_a_fresh_span_per_call(self):
+        prof = Profiler(track_allocations=False)
+
+        @prof.span("work", cat="fn")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6
+        assert work(4) == 8
+        assert len(prof.roots) == 2
+        assert all(s.name == "work" and s.cat == "fn" for s in prof.roots)
+
+    def test_current_tracks_the_open_span(self):
+        prof = Profiler(track_allocations=False)
+        assert prof.current is None
+        with prof.span("outer"):
+            assert prof.current.name == "outer"
+            with prof.span("inner"):
+                assert prof.current.name == "inner"
+            assert prof.current.name == "outer"
+        assert prof.current is None
+
+    def test_total_seconds_sums_roots_only(self):
+        prof = Profiler(clock=FakeClock(), track_allocations=False)
+        with prof.span("a"):
+            pass
+        with prof.span("b"):
+            pass
+        assert prof.total_seconds == pytest.approx(
+            sum(r.duration_s for r in prof.roots))
+
+    def test_alloc_bytes_charged_to_innermost_span(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            T.zeros(4, 4)  # 64 bytes float32, charged to outer
+            with prof.span("inner"):
+                T.zeros(8, 8)  # 256 bytes, charged to inner
+        outer, = prof.roots
+        inner, = outer.children
+        assert inner.alloc_bytes >= 256
+        assert outer.alloc_bytes >= 64
+        assert inner.alloc_bytes < outer.alloc_bytes + inner.alloc_bytes
+
+    def test_alloc_hook_removed_after_last_span(self):
+        from repro.tensor.tensor import set_alloc_hook
+
+        prof = Profiler()
+        with prof.span("only"):
+            pass
+        previous = set_alloc_hook(None)
+        assert previous is None  # profiler uninstalled its hook on exit
+
+    def test_exception_still_closes_the_span(self):
+        prof = Profiler(track_allocations=False)
+        with pytest.raises(RuntimeError):
+            with prof.span("doomed"):
+                raise RuntimeError("boom")
+        assert prof.current is None
+        assert prof.roots[0].end >= prof.roots[0].start
+
+    def test_reset_drops_spans_but_keeps_clock(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock, track_allocations=False)
+        with prof.span("x"):
+            pass
+        prof.metrics.counter("c").inc()
+        prof.reset()
+        assert prof.roots == [] and prof.spans == []
+        assert prof.overhead_s == 0.0
+        assert len(prof.metrics) == 0
+        assert prof.clock is clock
+
+    def test_reset_refuses_while_a_span_is_open(self):
+        prof = Profiler(track_allocations=False)
+        with pytest.raises(RuntimeError, match="open"):
+            with prof.span("open"):
+                prof.reset()
+
+
+class TestNullProfiler:
+    def test_records_nothing(self):
+        with NULL_PROFILER.span("anything", cat="x", key=1) as span:
+            span.annotate(more=2)
+        assert NULL_PROFILER.spans == ()
+        assert NULL_PROFILER.roots == ()
+        assert NULL_PROFILER.total_seconds == 0.0
+        assert NULL_PROFILER.current is None
+        assert not NULL_PROFILER.enabled
+
+    def test_span_context_is_shared(self):
+        assert NULL_PROFILER.span("a") is NULL_PROFILER.span("b")
+
+    def test_decorator_is_identity(self):
+        def fn():
+            return 42
+
+        assert NULL_PROFILER.span("x")(fn) is fn
+
+    def test_coerce_profiler(self):
+        assert coerce_profiler(None) is NULL_PROFILER
+        assert coerce_profiler(False) is NULL_PROFILER
+        assert isinstance(coerce_profiler(True), Profiler)
+        prof = Profiler(track_allocations=False)
+        assert coerce_profiler(prof) is prof
+        null = NullProfiler()
+        assert coerce_profiler(null) is null
+        with pytest.raises(TypeError, match="profiler"):
+            coerce_profiler("yes")
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError, match="decrease"):
+            c.inc(-1)
+
+    def test_counter_set_floor_is_idempotent(self):
+        c = Counter("n")
+        c.set_floor(10)
+        c.set_floor(10)
+        assert c.value == 10
+        c.set_floor(3)  # lower publish never decreases
+        assert c.value == 10
+        c.set_floor(12)
+        assert c.value == 12
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(5.0)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == pytest.approx(4.0)
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(50.0)
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram("h", buckets=())
+
+    def test_registry_get_or_create_reuses(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg and len(reg) == 1
+        assert reg["a"].value == 0
+
+    def test_registry_type_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_json_roundtrip_is_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", help="jobs done").inc(3)
+        reg.gauge("temp").set(1.5)
+        hist = reg.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(2.0)
+        snap = reg.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(json.loads(json.dumps(snap)))
+        assert rebuilt.snapshot() == snap
+        assert rebuilt["jobs"].value == 3
+        assert rebuilt["lat"].counts == [1, 0, 1]
+
+    def test_from_snapshot_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry.from_snapshot({"schema": 99})
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("z")
+        reg.counter("a")
+        assert reg.names() == ["a", "z"]
+
+
+class TestInstrument:
+    def test_per_layer_spans_nest_into_the_module_tree(self, tiny_conv_net):
+        prof = Profiler(track_allocations=False)
+        x = T.randn(1, 3, 16, 16, rng=0)
+        output, prof = profile_forward(tiny_conv_net, x, profiler=prof)
+        root, = prof.roots
+        assert root.name == "forward"
+        seq_span, = root.children  # the Sequential wraps every layer
+        assert "Sequential" in seq_span.name
+        child_types = [c.args.get("type") for c in seq_span.children]
+        assert child_types == ["Conv2d", "ReLU", "Conv2d", "ReLU", "Conv2d",
+                               "ReLU", "Flatten", "Linear"]
+
+    def test_spans_carry_output_shape_and_dtype(self, tiny_conv_net):
+        x = T.randn(2, 3, 16, 16, rng=0)
+        _, prof = profile_forward(tiny_conv_net, x)
+        leaf = prof.roots[0].children[0].children[-1]  # the Linear head
+        assert leaf.args["shape"] == [2, 10]
+        assert "float" in leaf.args["dtype"]
+
+    def test_self_times_sum_to_at_most_wall_clock(self, tiny_conv_net):
+        x = T.randn(1, 3, 16, 16, rng=0)
+        _, prof = profile_forward(tiny_conv_net, x)
+        total_self = sum(s.self_seconds for s in prof.spans)
+        assert total_self <= prof.total_seconds + 1e-9
+
+    def test_instrumented_forward_is_bit_identical(self, tiny_conv_net):
+        x = T.randn(1, 3, 16, 16, rng=0)
+        tiny_conv_net.eval()
+        with T.no_grad():
+            clean = tiny_conv_net(x).data.copy()
+        profiled, _ = profile_forward(tiny_conv_net, x)
+        np.testing.assert_array_equal(clean, profiled.data)
+
+    def test_hooks_removed_after_context(self, tiny_conv_net):
+        prof = Profiler(track_allocations=False)
+        with instrument(tiny_conv_net, prof):
+            pass
+        assert all(not m._forward_hooks and not m._forward_pre_hooks
+                   for m in tiny_conv_net.modules())
+
+    def test_forward_exception_unwinds_open_spans(self, tiny_conv_net):
+        prof = Profiler(track_allocations=False)
+        with instrument(tiny_conv_net, prof):
+            with pytest.raises(Exception):
+                tiny_conv_net(T.randn(1, 3, 4, 4, rng=0))  # too small: raises
+        assert prof.current is None
+
+    def test_restores_training_mode(self, tiny_conv_net):
+        tiny_conv_net.train()
+        profile_forward(tiny_conv_net, T.randn(1, 3, 16, 16, rng=0))
+        assert tiny_conv_net.training
+
+
+class TestExport:
+    def _profiled(self):
+        prof = Profiler(clock=FakeClock(), track_allocations=False)
+        with prof.span("root", cat="phase"):
+            with prof.span("leaf", cat="layer", layer=0):
+                pass
+            with prof.span("leaf", cat="layer", layer=1):
+                pass
+        return prof
+
+    def test_chrome_events_have_required_fields(self):
+        events = chrome_trace_events(self._profiled())
+        assert events[0]["ph"] == "M"
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert len(x_events) == 3
+        for event in x_events:
+            assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] > 0
+
+    def test_summary_aggregates_repeated_paths(self):
+        out = summary(self._profiled(), meta={"model": "toy"})
+        assert out["num_spans"] == 3
+        leaf_row, = [r for r in out["spans"] if r["name"] == "leaf"]
+        assert leaf_row["count"] == 2
+        assert leaf_row["path"] == "root/leaf"
+        assert leaf_row["depth"] == 1
+        assert out["meta"] == {"model": "toy"}
+        json.dumps(out)  # must be JSON-serialisable as-is
+
+    def test_text_table_lists_spans_and_totals(self):
+        table = text_table(self._profiled())
+        assert "root" in table and "leaf" in table
+        assert "recorded wall clock" in table
+        assert "profiler overhead" in table
+
+    def test_write_artifacts_roundtrip(self, tmp_path):
+        paths = write_artifacts(self._profiled(), tmp_path, stem="toy")
+        trace = json.loads(paths["trace"].read_text())
+        assert {e["ph"] for e in trace["traceEvents"]} == {"M", "X"}
+        loaded = json.loads(paths["summary_json"].read_text())
+        assert loaded["num_spans"] == 3
+        assert "recorded wall clock" in paths["summary_txt"].read_text()
+
+
+class TestCampaignProfiling:
+    def test_profiled_campaign_is_bitwise_invariant(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+
+        def run(profiler):
+            campaign = InjectionCampaign(model, dataset, batch_size=4,
+                                         pool_size=32, rng=0, profiler=profiler)
+            result = campaign.run(16)
+            return campaign, result
+
+        plain_campaign, plain = run(None)
+        prof_campaign, profiled = run(Profiler())
+        assert profiled.corruptions == plain.corruptions
+        np.testing.assert_array_equal(profiled.per_layer_corruptions,
+                                      plain.per_layer_corruptions)
+        assert (prof_campaign.rng.bit_generator.state
+                == plain_campaign.rng.bit_generator.state)
+        assert prof_campaign.perf.cache_hits == plain_campaign.perf.cache_hits
+        assert prof_campaign.perf.cache_misses == plain_campaign.perf.cache_misses
+
+    def test_campaign_records_phase_spans_and_metrics(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        prof = Profiler()
+        campaign = InjectionCampaign(model, dataset, batch_size=4, pool_size=32,
+                                     rng=1, profiler=prof)
+        campaign.run(8)
+        names = {s.name for s in prof.spans}
+        assert {"campaign.pool", "campaign.plan", "campaign.chunk"} <= names
+        assert "campaign.injections" in prof.metrics
+        assert prof.metrics["campaign.injections"].value == 8
+        assert prof.metrics["campaign.chunk_seconds"].count >= 1
+        chunk_spans = [s for s in prof.spans if s.name == "campaign.chunk"]
+        assert all("cache_hits" in s.args for s in chunk_spans)
+
+    def test_profiler_true_builds_a_fresh_profiler(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        campaign = InjectionCampaign(model, dataset, batch_size=4, pool_size=32,
+                                     rng=2, profiler=True)
+        campaign.run(4)
+        assert isinstance(campaign.profiler, Profiler)
+        assert len(campaign.profiler.spans) > 0
+
+
+class TestHeartbeat:
+    def test_progress_true_prints_at_least_one_line(self, trained_tiny_model):
+        model, dataset, _ = trained_tiny_model
+        campaign = InjectionCampaign(model, dataset, batch_size=4, pool_size=32,
+                                     rng=3)
+        stream = io.StringIO()
+        heartbeat = CampaignHeartbeat(campaign, stream=stream)
+        campaign.run(8, progress=heartbeat)
+        out = stream.getvalue()
+        assert "8/8 injections" in out
+        assert "done" in out
+        assert heartbeat.ticks >= 1
+
+    def test_rate_limited_but_final_tick_always_prints(self):
+        clock = FakeClock(step=0.1)
+        stream = io.StringIO()
+        heartbeat = CampaignHeartbeat(interval_s=10.0, stream=stream, clock=clock)
+        heartbeat(1, 4)
+        heartbeat(2, 4)  # within the interval: suppressed
+        heartbeat(4, 4)  # final: always prints
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 2
+        assert "done" in lines[-1]
+
+    def test_reports_rate_and_eta(self):
+        clock = FakeClock(step=1.0)
+        stream = io.StringIO()
+        heartbeat = CampaignHeartbeat(interval_s=0.0, stream=stream, clock=clock)
+        heartbeat(0, 10)
+        heartbeat(5, 10)
+        assert "inj/s" in stream.getvalue()
+        assert "eta" in stream.getvalue()
+
+    def test_coerce_progress(self):
+        assert coerce_progress(None, None) is None
+        assert coerce_progress(False, None) is None
+        default = coerce_progress(True, "campaign-sentinel")
+        assert isinstance(default, CampaignHeartbeat)
+        assert default.campaign == "campaign-sentinel"
+        fn = lambda done, total: None
+        assert coerce_progress(fn, None) is fn
+        with pytest.raises(TypeError, match="progress"):
+            coerce_progress(3, None)
