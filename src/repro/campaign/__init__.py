@@ -7,6 +7,7 @@ from .criteria import (
     Top1NotInTopK,
     as_criterion,
 )
+from .parallel import ParallelCampaignExecutor, partition_chunks
 from .resume import ActivationCheckpointCache, CampaignResumeEngine
 from .runner import CampaignResult, InjectionCampaign
 from .trace import InjectionEvent, InjectionTrace, margin
@@ -21,7 +22,9 @@ __all__ = [
     "InjectionCampaign",
     "InjectionEvent",
     "InjectionTrace",
+    "ParallelCampaignExecutor",
     "margin",
+    "partition_chunks",
     "Proportion",
     "Top1Misclassification",
     "Top1NotInTopK",

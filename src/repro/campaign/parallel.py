@@ -1,0 +1,448 @@
+"""Deterministic multi-process campaign execution with sharded telemetry merge.
+
+A :class:`ParallelCampaignExecutor` runs one :class:`InjectionCampaign`
+plan across N fork-based worker processes and merges the shards back into
+exactly what a serial run would have produced.  The determinism argument
+has three legs, all properties the serial design already guarantees:
+
+1. **The plan is drawn in the parent.**  ``InjectionCampaign._plan`` makes
+   every random decision (input choice, site location, per-injection seed)
+   with batched generator calls before any forward runs, so the parent's
+   RNG stream — and hence any later ``run()`` — is byte-identical to the
+   serial path.
+2. **Every injection carries a pinned seed.**  Error-model draws come from
+   a per-injection ``default_rng(seed)``, so an injection's outcome does
+   not depend on which process executes it, in what order, or alongside
+   which batch mates — chunks are grouped per layer before partitioning,
+   exactly as serially.
+3. **Replay is bitwise-exact regardless of cache state.**  The resume
+   engine produces identical logits whether a chunk resumes from a cached
+   checkpoint or runs a full forward, so workers' private (forked,
+   copy-on-write warm) caches cannot change outcomes.
+
+Given those, *any* partition of the chunk list reproduces the serial
+outcomes; :func:`partition_chunks` picks a contiguous, injection-balanced
+one (chunks arrive layer-sorted, so contiguity preserves the per-layer
+cache locality the resume engine exploits).
+
+The merge is order-independent everywhere: per-layer tallies are integer
+sums, :meth:`CampaignPerfCounters.merge` and
+:meth:`MetricsRegistry.merge_snapshot` are associative and commutative,
+observe events are keyed by plan position (``index``) and stable-sorted
+into serial emission order, and worker profiler spans become per-pid
+Chrome-trace lanes (``perf_counter`` reads ``CLOCK_MONOTONIC``, which is
+system-wide on Linux, so forked workers share the parent's timeline).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from ..perf import CampaignPerfCounters
+from ..profile.heartbeat import coerce_progress
+from .runner import CampaignResult
+
+_JOIN_TIMEOUT_S = 30.0
+_POLL_TIMEOUT_S = 1.0
+
+
+def partition_chunks(chunks, workers):
+    """Split a chunk list into ≤ ``workers`` contiguous, balanced shards.
+
+    Each chunk lands in the shard its injection-count midpoint falls into,
+    so shards are contiguous runs of the (layer-sorted) chunk list with
+    near-equal injection totals.  Deterministic — same input, same shards —
+    and empty shards are dropped, so tiny campaigns simply use fewer
+    workers.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    chunks = list(chunks)
+    total = sum(len(chunk) for chunk in chunks)
+    shards = [[] for _ in range(workers)]
+    cum = 0
+    for chunk in chunks:
+        mid = cum + len(chunk) / 2.0
+        w = min(workers - 1, int(mid * workers / total)) if total else 0
+        shards[w].append(chunk)
+        cum += len(chunk)
+    return [shard for shard in shards if shard]
+
+
+def _worker_main(campaign, wid, shard, n_injections, plan, out_queue,
+                 observe_spec, profile_enabled, trace_enabled):
+    """Body of one forked campaign worker.
+
+    Runs in the child process over forked (copy-on-write) campaign state:
+    the model, pool, and activation cache arrive warm from the parent.
+    Executes ``shard`` via the same ``_execute_plan`` the serial path
+    uses, then ships per-layer tallies, perf-counter deltas, a metrics
+    snapshot, flat span records, and observe events back through
+    ``out_queue``.  Exceptions are reported as an ``("error", ...)``
+    message instead of a silent nonzero exit.
+    """
+    try:
+        pool_idx, layers, coords, seeds = plan
+        # Deltas, not absolutes: the parent folds these onto its own
+        # engine's counters, so zero everything the run accumulates and
+        # baseline what the forked engine already holds.
+        campaign.perf.reset()
+        engine = campaign._resume
+        if engine is not None:
+            cache = engine.cache
+            base = (engine.capture_forwards, cache.hits, cache.misses,
+                    cache.evictions, cache.bytes_used)
+        if profile_enabled:
+            from ..profile.profiler import Profiler
+
+            campaign.profiler = Profiler()
+        else:
+            from ..profile.profiler import NULL_PROFILER
+
+            campaign.profiler = NULL_PROFILER
+        if engine is not None:
+            engine.profiler = campaign.profiler
+
+        tracer = None
+        shard_path = None
+        if observe_spec is not None:
+            from ..observe import JsonlEventSink, PropagationTracer
+
+            if observe_spec[0] == "jsonl":
+                shard_path = Path(observe_spec[1])
+                tracer = PropagationTracer(JsonlEventSink(
+                    shard_path, flush_every=observe_spec[2]))
+            else:
+                tracer = PropagationTracer()
+            tracer.attach(campaign)
+            tracer.begin(campaign, n_injections, emit_header=False)
+
+        trace_events = {} if trace_enabled else None
+
+        started = time.perf_counter()
+        per_layer_inj, per_layer_cor, corrupted = campaign._execute_plan(
+            shard, pool_idx, layers, coords, seeds,
+            observer=tracer,
+            events=trace_events,
+            on_progress=lambda k: out_queue.put(("progress", wid, k)))
+        elapsed = time.perf_counter() - started
+
+        observe_events = None
+        clean_captures = 0
+        if tracer is not None:
+            tracer.flush_pending()
+            clean_captures = tracer.clean_captures
+            if shard_path is None:
+                observe_events = list(tracer.events)
+            tracer.detach()
+            tracer.close()
+
+        perf = campaign.perf
+        perf.elapsed_seconds = elapsed
+        perf.injections = int(sum(len(chunk) for chunk in shard))
+        if engine is not None:
+            cache = engine.cache
+            perf.capture_forwards = engine.capture_forwards - base[0]
+            perf.cache_hits = cache.hits - base[1]
+            perf.cache_misses = cache.misses - base[2]
+            perf.cache_evictions = cache.evictions - base[3]
+            perf.cache_bytes = cache.bytes_used - base[4]
+
+        metrics_snapshot = None
+        spans = None
+        if profile_enabled:
+            from ..profile.export import span_records
+
+            metrics_snapshot = campaign.profiler.metrics.snapshot()
+            spans = span_records(campaign.profiler)
+
+        out_queue.put(("result", wid, {
+            "pid": os.getpid(),
+            "per_layer_injections": per_layer_inj,
+            "per_layer_corruptions": per_layer_cor,
+            "corrupted_total": int(corrupted),
+            "injections": perf.injections,
+            "perf": perf,
+            "metrics": metrics_snapshot,
+            "spans": spans,
+            "observe_events": observe_events,
+            "clean_captures": int(clean_captures),
+            "trace_events": trace_events,
+        }))
+    except BaseException:
+        out_queue.put(("error", wid, traceback.format_exc()))
+        raise
+
+
+class ParallelCampaignExecutor:
+    """Fan one campaign plan out over N forked workers; merge the shards.
+
+    Constructed on demand by ``InjectionCampaign.run(..., workers=N)``;
+    usable directly when a caller wants ``parallel_info`` without going
+    through the campaign façade::
+
+        executor = ParallelCampaignExecutor(campaign, workers=4)
+        result = executor.run(10_000)
+
+    After ``run()`` the campaign's ``parallel_info`` dict records the
+    worker count actually used, per-worker injection counts and pids, and
+    the fleet's wall clock — the numbers ``repro inject --json`` reports.
+    """
+
+    def __init__(self, campaign, workers):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.campaign = campaign
+        self.workers = int(workers)
+
+    # ------------------------------------------------------------------ #
+    # Observer plumbing
+    # ------------------------------------------------------------------ #
+
+    def _observer_setup(self, observe, n_injections):
+        """Coerce ``observe=`` and decide how workers shard their events.
+
+        Returns ``(tracer, mode, base_path)`` where mode is ``"jsonl"``
+        (workers append to ``<path>.shard<wid>`` files, merged with
+        torn-line tolerance) or ``"memory"`` (workers ship event lists
+        through the result queue), or ``(None, None, None)``.
+        """
+        if observe is None or observe is False:
+            return None, None, None
+        from ..observe import JsonlEventSink, coerce_tracer
+
+        tracer = coerce_tracer(observe)
+        # Surface the same error a worker's attach() would, before forking.
+        if self.campaign.target != "neuron":
+            raise ValueError(
+                "propagation tracing requires a neuron campaign; weight campaigns "
+                "perturb before the forward, so there is no injection site to trace from"
+            )
+        if isinstance(tracer.sink, JsonlEventSink):
+            return tracer, "jsonl", Path(tracer.sink.path)
+        return tracer, "memory", None
+
+    def _merge_observe(self, tracer, mode, base_path, shard_ids, results):
+        """Fold worker event shards into the parent tracer, plan-ordered.
+
+        Events land in the tracer's pending buffer keyed by plan position,
+        so the subsequent ``finish()`` emits them in exactly the serial
+        order between the header (already written) and the footer.
+        """
+        from ..observe import merge_shard_events
+
+        if mode == "jsonl":
+            shard_paths = [base_path.with_name(f"{base_path.name}.shard{wid}")
+                           for wid in shard_ids]
+            merged = merge_shard_events([p for p in shard_paths if p.exists()])
+            for path in shard_paths:
+                if path.exists():
+                    path.unlink()
+        else:
+            merged = []
+            for wid in shard_ids:
+                merged.extend(results[wid]["observe_events"] or [])
+            merged.sort(key=lambda e: e.get("index", -1))
+        for event in merged:
+            p = event.get("index")
+            if p is not None and 0 <= p < len(tracer._pending):
+                tracer._pending[p] = event
+        tracer.clean_captures += sum(
+            results[wid]["clean_captures"] for wid in shard_ids)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, n_injections, confidence=0.99, progress=None, trace=None,
+            observe=None):
+        """Execute ``n_injections`` across the worker fleet; merge results.
+
+        Semantics match ``InjectionCampaign.run(..., workers=1)`` exactly
+        (outcomes, per-layer vulnerability, trace and observe events,
+        merged cache statistics); only wall clock differs.  Falls back to
+        the serial path with a :class:`RuntimeWarning` where ``fork`` is
+        unavailable.
+        """
+        campaign = self.campaign
+        if n_injections < 1:
+            raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+        if self.workers == 1:
+            return campaign.run(n_injections, confidence=confidence,
+                                progress=progress, trace=trace, observe=observe)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "fork start method unavailable; parallel campaign falling back "
+                "to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return campaign.run(n_injections, confidence=confidence,
+                                progress=progress, trace=trace, observe=observe)
+
+        progress = coerce_progress(progress, campaign)
+        prof = campaign.profiler
+        started = time.perf_counter()
+        with prof.span("campaign.plan", cat="campaign", injections=n_injections):
+            pool_idx, layers, coords, seeds = campaign._plan(n_injections)
+        plan = (pool_idx, layers, coords, seeds)
+        shards = partition_chunks(campaign._chunks(layers, n_injections), self.workers)
+
+        tracer, observe_mode, observe_base = self._observer_setup(observe, n_injections)
+        if tracer is not None:
+            campaign.observer = tracer
+            tracer.begin(campaign, n_injections)  # header first, sized buffer
+            if hasattr(tracer.sink, "flush"):
+                tracer.sink.flush()  # nothing buffered crosses the fork
+
+        ctx = multiprocessing.get_context("fork")
+        out_queue = ctx.Queue()
+        procs = {}
+        try:
+            with prof.span("campaign.parallel", cat="campaign",
+                           workers=len(shards), injections=n_injections) as pspan:
+                for wid, shard in enumerate(shards):
+                    spec = None
+                    if observe_mode == "jsonl":
+                        shard_path = observe_base.with_name(
+                            f"{observe_base.name}.shard{wid}")
+                        if shard_path.exists():
+                            shard_path.unlink()  # stale shard from a prior run
+                        spec = ("jsonl", str(shard_path), tracer.sink.flush_every)
+                    elif observe_mode == "memory":
+                        spec = ("memory",)
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(campaign, wid, shard, n_injections, plan, out_queue,
+                              spec, prof.enabled, trace is not None),
+                        daemon=True,
+                    )
+                    proc.start()
+                    procs[wid] = proc
+                results = self._collect(procs, out_queue, progress, n_injections)
+                for proc in procs.values():
+                    proc.join(timeout=_JOIN_TIMEOUT_S)
+                pspan.annotate(pids=[results[w]["pid"] for w in sorted(results)])
+        finally:
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_TIMEOUT_S)
+        wall = time.perf_counter() - started
+
+        return self._merge(results, n_injections, confidence, wall, tracer,
+                           observe_mode, observe_base, trace, progress)
+
+    def _collect(self, procs, out_queue, progress, n_injections):
+        """Drain worker messages until every worker has reported a result.
+
+        Draining before ``join()`` is load-bearing: a ``Queue`` flushes
+        through a feeder thread, and joining a worker whose pipe is full
+        deadlocks.  A worker that dies without reporting (segfault, OOM
+        kill) is detected by liveness+exitcode polling instead of hanging.
+        """
+        results = {}
+        done = 0
+        while len(results) < len(procs):
+            try:
+                msg = out_queue.get(timeout=_POLL_TIMEOUT_S)
+            except queue_mod.Empty:
+                for wid, proc in procs.items():
+                    if wid not in results and not proc.is_alive():
+                        raise RuntimeError(
+                            f"campaign worker {wid} exited (code {proc.exitcode}) "
+                            f"without reporting a result"
+                        )
+                continue
+            kind, wid = msg[0], msg[1]
+            if kind == "progress":
+                done += msg[2]
+                if progress is not None:
+                    progress(done, n_injections)
+            elif kind == "result":
+                results[wid] = msg[2]
+            else:  # "error"
+                raise RuntimeError(
+                    f"campaign worker {wid} failed:\n{msg[2]}")
+        return results
+
+    def _merge(self, results, n_injections, confidence, wall, tracer,
+               observe_mode, observe_base, trace, progress):
+        """Order-independent merge of every shard into serial-equivalent state."""
+        campaign = self.campaign
+        prof = campaign.profiler
+        shard_ids = sorted(results)
+        with prof.span("campaign.merge", cat="campaign", workers=len(shard_ids)):
+            per_layer_inj = np.zeros(campaign.fi.num_layers, dtype=np.int64)
+            per_layer_cor = np.zeros(campaign.fi.num_layers, dtype=np.int64)
+            corrupted_total = 0
+            worker_perf = CampaignPerfCounters()
+            for wid in shard_ids:
+                r = results[wid]
+                per_layer_inj += r["per_layer_injections"]
+                per_layer_cor += r["per_layer_corruptions"]
+                corrupted_total += r["corrupted_total"]
+                worker_perf.merge(r["perf"])
+            # Busy-time and forward tallies fold into the campaign's lifetime
+            # counters; cache stats fold into the parallel-delta ledger that
+            # _finalize_perf adds onto this process's engine absolutes.
+            campaign.perf.forwards += worker_perf.forwards
+            campaign.perf.resumed_forwards += worker_perf.resumed_forwards
+            campaign.perf.layer_forwards_executed += worker_perf.layer_forwards_executed
+            campaign.perf.layer_forwards_skipped += worker_perf.layer_forwards_skipped
+            deltas = campaign._parallel_deltas
+            deltas.capture_forwards += worker_perf.capture_forwards
+            deltas.cache_hits += worker_perf.cache_hits
+            deltas.cache_misses += worker_perf.cache_misses
+            deltas.cache_evictions += worker_perf.cache_evictions
+            deltas.cache_bytes += worker_perf.cache_bytes
+            if prof.enabled:
+                for wid in shard_ids:
+                    r = results[wid]
+                    if r["metrics"] is not None:
+                        prof.metrics.merge_snapshot(r["metrics"])
+                    if r["spans"]:
+                        prof.adopt_spans(r["spans"], pid=r["pid"],
+                                         process_name=f"repro.worker[{wid}]")
+            # Republishes merged perf into prof.metrics, fixing the derived
+            # rate gauges the snapshot merge cannot reconstruct.
+            campaign._finalize_perf(n_injections, wall)
+            if trace is not None:
+                merged_events = {}
+                for wid in shard_ids:
+                    if results[wid]["trace_events"]:
+                        merged_events.update(results[wid]["trace_events"])
+                for p in sorted(merged_events):
+                    trace.record(**merged_events[p])
+        if progress is not None:
+            progress(n_injections, n_injections)
+        campaign.parallel_info = {
+            "requested_workers": self.workers,
+            "workers": len(shard_ids),
+            "wall_time_s": wall,
+            "per_worker_injections": [int(results[w]["injections"])
+                                      for w in shard_ids],
+            "per_worker_pids": [int(results[w]["pid"]) for w in shard_ids],
+        }
+        result = CampaignResult(
+            network=campaign.network_name,
+            criterion=campaign.criterion_name,
+            injections=n_injections,
+            corruptions=corrupted_total,
+            confidence=confidence,
+            per_layer_injections=per_layer_inj,
+            per_layer_corruptions=per_layer_cor,
+        )
+        if tracer is not None:
+            self._merge_observe(tracer, observe_mode, observe_base,
+                                shard_ids, results)
+            tracer.finish(campaign, result)
+        return result

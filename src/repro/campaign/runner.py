@@ -151,6 +151,11 @@ class InjectionCampaign:
                 engine.profiler = self.profiler
                 self._resume = engine
         self.perf.resume_enabled = self._resume is not None
+        # Cache/capture work done by parallel workers (their private forked
+        # engines) never advances this process's engine counters; the deltas
+        # accumulate here so ``perf`` reports fleet totals either way.
+        self._parallel_deltas = CampaignPerfCounters()
+        self.parallel_info = None  # set by parallel runs, see campaign.parallel
         with self.profiler.span("campaign.pool", cat="campaign", pool_size=pool_size):
             self._build_pool(pool_size)
 
@@ -303,7 +308,113 @@ class InjectionCampaign:
         finally:
             self.fi.reset()
 
-    def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None):
+    def _execute_plan(self, chunks, pool_idx, layers, coords, seeds, *,
+                      observer=None, events=None, on_progress=None):
+        """Execute ``chunks`` of an upfront plan; returns per-layer tallies.
+
+        The shared execution core of the serial path and each parallel
+        worker (which runs it over its shard of the chunk list): every
+        random decision is already in the plan arrays, so this method draws
+        from no generator and its results depend only on ``chunks``.
+
+        ``events``, when not None, is a mutable mapping (list or dict)
+        filled with one trace-event dict per plan position.  Returns
+        ``(per_layer_injections, per_layer_corruptions, corrupted_total)``.
+        """
+        prof = self.profiler
+        chunk_hist = prof.metrics.histogram(
+            "campaign.chunk_seconds", help="wall clock per injection chunk"
+        ) if prof.enabled else None
+        cache = self._resume.cache if self._resume is not None else None
+        per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
+        per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
+        corrupted_total = 0
+        for positions in chunks:
+            layer_idx = int(layers[positions[0]])
+            idx = pool_idx[positions]
+            cache_before = (
+                (cache.hits, cache.misses, cache.evictions)
+                if cache is not None and prof.enabled else None
+            )
+            with prof.span("campaign.chunk", cat="campaign", layer=layer_idx,
+                           injections=len(positions)) as chunk_span:
+                chunk_started = time.perf_counter()
+                logits, resumed = self._execute_chunk(
+                    layer_idx, positions, pool_idx, coords, seeds, observer=observer)
+                chunk_elapsed = time.perf_counter() - chunk_started
+                chunk_span.annotate(resumed=resumed)
+                if cache_before is not None:
+                    chunk_span.annotate(
+                        cache_hits=cache.hits - cache_before[0],
+                        cache_misses=cache.misses - cache_before[1],
+                        cache_evictions=cache.evictions - cache_before[2])
+            if chunk_hist is not None:
+                chunk_hist.observe(chunk_elapsed)
+            self.perf.forwards += 1
+            self.perf.resumed_forwards += int(resumed)
+            flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
+            if events is not None:
+                margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
+                margins_after = margin(logits, self.pool_labels[idx])
+            for b, p in enumerate(positions):
+                per_layer_inj[layer_idx] += 1
+                if flags[b]:
+                    per_layer_cor[layer_idx] += 1
+                    corrupted_total += 1
+                if events is not None:
+                    events[p] = dict(
+                        layer=layer_idx,
+                        coords=coords[p],
+                        batch_slot=b,
+                        label=int(self.pool_labels[idx][b]),
+                        predicted=int(logits[b].argmax()),
+                        corrupted=bool(flags[b]),
+                        margin_before=float(margins_before[b]),
+                        margin_after=float(margins_after[b]),
+                    )
+            if observer is not None:
+                with prof.span("campaign.observe", cat="campaign",
+                               phase="record", layer=layer_idx):
+                    observer.record_chunk(
+                        positions=positions,
+                        layer_idx=layer_idx,
+                        pool_indices=[int(i) for i in idx],
+                        coords=[coords[p] for p in positions],
+                        seeds=[int(seeds[p]) for p in positions],
+                        labels=self.pool_labels[idx],
+                        clean_predicted=self.pool_logits[idx].argmax(axis=1),
+                        logits=logits,
+                        flags=flags,
+                        resumed=resumed,
+                        latency_s=chunk_elapsed,
+                    )
+            if on_progress is not None:
+                on_progress(len(positions))
+        return per_layer_inj, per_layer_cor, corrupted_total
+
+    def _finalize_perf(self, n_injections, elapsed_s):
+        """Fold one run's execution into the lifetime ``perf`` counters.
+
+        Cache statistics are absolute reads of this process's engine plus
+        the accumulated deltas parallel workers reported (their forked
+        engines never advance ours).
+        """
+        self.perf.injections += n_injections
+        self.perf.elapsed_seconds += elapsed_s
+        if self._resume is not None:
+            cache = self._resume.cache
+            deltas = self._parallel_deltas
+            self.perf.capture_forwards = (
+                self._resume.capture_forwards + deltas.capture_forwards)
+            self.perf.cache_hits = cache.hits + deltas.cache_hits
+            self.perf.cache_misses = cache.misses + deltas.cache_misses
+            self.perf.cache_evictions = cache.evictions + deltas.cache_evictions
+            self.perf.cache_bytes = cache.bytes_used + deltas.cache_bytes
+        if self.profiler.enabled:
+            self.perf.publish(self.profiler.metrics)
+
+    def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None,
+            workers=1):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
@@ -322,9 +433,29 @@ class InjectionCampaign:
         the default :class:`~repro.profile.CampaignHeartbeat` printing
         injections/sec, cache hit rate, and ETA to stderr at a fixed
         interval.
+
+        ``workers=N`` (N > 1) shards the plan's chunks across N fork-based
+        worker processes via
+        :class:`~repro.campaign.parallel.ParallelCampaignExecutor`.  The
+        plan is drawn in this process with the exact generator consumption
+        of a serial run and every injection carries a pinned seed, so
+        outcomes, per-layer vulnerability, and telemetry events are
+        bitwise-identical to ``workers=1`` — only wall clock changes.  On
+        platforms without ``fork`` the campaign falls back to serial with a
+        :class:`RuntimeWarning`.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+        if workers is None:
+            workers = 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            from .parallel import ParallelCampaignExecutor
+
+            return ParallelCampaignExecutor(self, workers).run(
+                n_injections, confidence=confidence, progress=progress,
+                trace=trace, observe=observe)
         progress = coerce_progress(progress, self)
         observer = None
         if observe is not None and observe is not False:
@@ -335,96 +466,27 @@ class InjectionCampaign:
             self.observer = observer
         started = time.perf_counter()
         prof = self.profiler
-        chunk_hist = prof.metrics.histogram(
-            "campaign.chunk_seconds", help="wall clock per injection chunk"
-        ) if prof.enabled else None
-        cache = self._resume.cache if self._resume is not None else None
-        per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
-        per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
-        corrupted_total = 0
         with prof.span("campaign.plan", cat="campaign", injections=n_injections):
             pool_idx, layers, coords, seeds = self._plan(n_injections)
         events = [None] * n_injections if trace is not None else None
         done = 0
+
+        def on_progress(k):
+            nonlocal done
+            done += k
+            progress(done, n_injections)
+
         try:
             if observer is not None:
                 observer.begin(self, n_injections)
-            for positions in self._chunks(layers, n_injections):
-                layer_idx = int(layers[positions[0]])
-                idx = pool_idx[positions]
-                cache_before = (
-                    (cache.hits, cache.misses, cache.evictions)
-                    if cache is not None and prof.enabled else None
-                )
-                with prof.span("campaign.chunk", cat="campaign", layer=layer_idx,
-                               injections=len(positions)) as chunk_span:
-                    chunk_started = time.perf_counter()
-                    logits, resumed = self._execute_chunk(
-                        layer_idx, positions, pool_idx, coords, seeds, observer=observer)
-                    chunk_elapsed = time.perf_counter() - chunk_started
-                    chunk_span.annotate(resumed=resumed)
-                    if cache_before is not None:
-                        chunk_span.annotate(
-                            cache_hits=cache.hits - cache_before[0],
-                            cache_misses=cache.misses - cache_before[1],
-                            cache_evictions=cache.evictions - cache_before[2])
-                if chunk_hist is not None:
-                    chunk_hist.observe(chunk_elapsed)
-                self.perf.forwards += 1
-                self.perf.resumed_forwards += int(resumed)
-                flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
-                if events is not None:
-                    margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
-                    margins_after = margin(logits, self.pool_labels[idx])
-                for b, p in enumerate(positions):
-                    per_layer_inj[layer_idx] += 1
-                    if flags[b]:
-                        per_layer_cor[layer_idx] += 1
-                        corrupted_total += 1
-                    if events is not None:
-                        events[p] = dict(
-                            layer=layer_idx,
-                            coords=coords[p],
-                            batch_slot=b,
-                            label=int(self.pool_labels[idx][b]),
-                            predicted=int(logits[b].argmax()),
-                            corrupted=bool(flags[b]),
-                            margin_before=float(margins_before[b]),
-                            margin_after=float(margins_after[b]),
-                        )
-                if observer is not None:
-                    with prof.span("campaign.observe", cat="campaign",
-                                   phase="record", layer=layer_idx):
-                        observer.record_chunk(
-                            positions=positions,
-                            layer_idx=layer_idx,
-                            pool_indices=[int(i) for i in idx],
-                            coords=[coords[p] for p in positions],
-                            seeds=[int(seeds[p]) for p in positions],
-                            labels=self.pool_labels[idx],
-                            clean_predicted=self.pool_logits[idx].argmax(axis=1),
-                            logits=logits,
-                            flags=flags,
-                            resumed=resumed,
-                            latency_s=chunk_elapsed,
-                        )
-                done += len(positions)
-                if progress is not None:
-                    progress(done, n_injections)
+            per_layer_inj, per_layer_cor, corrupted_total = self._execute_plan(
+                self._chunks(layers, n_injections), pool_idx, layers, coords, seeds,
+                observer=observer, events=events,
+                on_progress=on_progress if progress is not None else None)
             if events is not None:
                 for event in events:
                     trace.record(**event)
-            self.perf.injections += n_injections
-            self.perf.elapsed_seconds += time.perf_counter() - started
-            if self._resume is not None:
-                cache = self._resume.cache
-                self.perf.capture_forwards = self._resume.capture_forwards
-                self.perf.cache_hits = cache.hits
-                self.perf.cache_misses = cache.misses
-                self.perf.cache_evictions = cache.evictions
-                self.perf.cache_bytes = cache.bytes_used
-            if prof.enabled:
-                self.perf.publish(prof.metrics)
+            self._finalize_perf(n_injections, time.perf_counter() - started)
             result = CampaignResult(
                 network=self.network_name,
                 criterion=self.criterion_name,

@@ -126,6 +126,9 @@ def _profile_runtime(args, model_name):
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.workers > 1 and not args.campaign:
+        print("error: --workers requires --campaign N", file=sys.stderr)
+        return 2
     try:
         if args.campaign:
             tensor.manual_seed(args.seed)
@@ -141,7 +144,8 @@ def _profile_runtime(args, model_name):
                 net, dataset, batch_size=args.batch_size,
                 pool_size=max(32, 2 * args.batch_size), rng=args.seed,
                 network_name=model_name, profiler=profiler)
-            result = campaign.run(args.campaign, progress=True)
+            result = campaign.run(args.campaign, progress=True,
+                                  workers=args.workers)
             meta = {
                 "mode": "campaign",
                 "model": model_name,
@@ -151,6 +155,10 @@ def _profile_runtime(args, model_name):
                 "injections": args.campaign,
                 "corruptions": result.corruptions,
             }
+            if campaign.parallel_info is not None:
+                meta["workers"] = campaign.parallel_info["workers"]
+                meta["wall_time_s"] = round(
+                    campaign.parallel_info["wall_time_s"], 3)
         else:
             _, profiler, meta = profile_model(
                 model_name, dataset=args.dataset, scale=args.scale,
@@ -176,10 +184,84 @@ def _inject_fail(args, message):
     return 2
 
 
+def _inject_campaign(args):
+    """``repro inject --campaign N``: a scriptable injection campaign.
+
+    With ``--workers K`` the campaign shards across K forked processes;
+    the ``--json`` record carries ``workers``, ``wall_time_s``, and
+    per-worker injection counts so throughput is scriptable either way.
+    """
+    import time
+
+    from . import models, tensor
+    from .campaign import InjectionCampaign
+    from .data import SyntheticClassification
+
+    tensor.manual_seed(args.seed)
+    try:
+        net = models.get_model(args.model, args.dataset, scale=args.scale,
+                               rng=tensor.spawn(1))
+        classes, size = models.dataset_preset(args.dataset)
+    except ValueError as exc:
+        return _inject_fail(args, str(exc))
+    net.eval()
+    dataset = _SelfLabelledDataset(
+        net, SyntheticClassification(num_classes=classes, image_size=size,
+                                     seed=args.seed + 1))
+    campaign = InjectionCampaign(
+        net, dataset, batch_size=args.batch_size,
+        pool_size=max(32, 2 * args.batch_size), rng=args.seed,
+        layer=args.layer, network_name=args.model)
+    if args.layer is not None and not 0 <= args.layer < campaign.fi.num_layers:
+        return _inject_fail(
+            args,
+            f"layer {args.layer} out of range: {args.model} has "
+            f"{campaign.fi.num_layers} instrumentable layers "
+            f"(0..{campaign.fi.num_layers - 1})",
+        )
+    started = time.perf_counter()
+    result = campaign.run(args.campaign, workers=args.workers,
+                          progress=not args.json)
+    wall = time.perf_counter() - started
+    info = campaign.parallel_info
+    workers_used = info["workers"] if info else 1
+    wall_time = info["wall_time_s"] if info else wall
+    per_worker = info["per_worker_injections"] if info else [args.campaign]
+    if args.json:
+        print(json.dumps({
+            "ok": True,
+            "mode": "campaign",
+            "model": args.model,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "seed": args.seed,
+            "error_model": "single_bit_flip",
+            "layer": args.layer,
+            "injections": int(result.injections),
+            "corruptions": int(result.corruptions),
+            "corruption_rate": float(result.corruption_rate),
+            "workers": int(workers_used),
+            "wall_time_s": float(wall_time),
+            "per_worker_injections": [int(k) for k in per_worker],
+            "perf": campaign.perf.as_dict(),
+        }, sort_keys=True))
+        return 0
+    print(f"campaign: {result.injections} injections on {args.model}, "
+          f"{result.corruptions} corruptions ({result.proportion})")
+    print(f"workers: {workers_used}  wall time: {wall_time:.3f}s  "
+          f"per-worker injections: {per_worker}")
+    print(f"perf: {campaign.perf}")
+    return 0
+
+
 def _cmd_inject(args):
     from . import models, tensor
     from .core import FaultInjection, SingleBitFlip, random_neuron_injection
 
+    if args.workers is not None and args.workers > 1 and not args.campaign:
+        return _inject_fail(args, "--workers requires --campaign N")
+    if args.campaign:
+        return _inject_campaign(args)
     tensor.manual_seed(args.seed)
     try:
         net = models.get_model(args.model, args.dataset, scale=args.scale,
@@ -296,6 +378,10 @@ def build_parser():
                            help="restrict the injection to one instrumentable layer")
             p.add_argument("--json", action="store_true",
                            help="emit one machine-readable JSON object on stdout")
+            p.add_argument("--campaign", type=int, default=0, metavar="N",
+                           help="run an N-injection campaign instead of one shot")
+            p.add_argument("--batch-size", type=int, default=16,
+                           help="injections per forward in campaign mode")
         else:
             p.add_argument("--model", dest="model_flag", default=None, metavar="NAME",
                            help="runtime-profile this model and write Chrome-trace "
@@ -306,6 +392,10 @@ def build_parser():
             p.add_argument("--batch-size", type=int, default=1)
             p.add_argument("--out-dir", default="results/profile",
                            help="artifact directory (default: results/profile)")
+        p.add_argument("--workers", type=int, default=1, metavar="K",
+                       help="shard the campaign across K forked worker processes "
+                            "(requires --campaign; results are bitwise-identical "
+                            "to --workers 1)")
         p.set_defaults(fn=fn)
 
     report_parser = sub.add_parser(

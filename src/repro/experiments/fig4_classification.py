@@ -48,8 +48,13 @@ _TRAIN_CONFIG = {
 }
 
 
-def run(scale="small", seed=0, networks=None, injections=None):
-    """Run the campaign per network; returns ``{"rows": [...]}``."""
+def run(scale="small", seed=0, networks=None, injections=None, workers=1):
+    """Run the campaign per network; returns ``{"rows": [...]}``.
+
+    ``workers`` shards each network's campaign across forked worker
+    processes (results bitwise-identical to serial — see
+    :mod:`repro.campaign.parallel`).
+    """
     check_scale(scale)
     tier = _TIER[scale]
     networks = networks if networks is not None else tier["networks"]
@@ -74,7 +79,7 @@ def run(scale="small", seed=0, networks=None, injections=None):
             batch_size=tier["batch"], quantization=qparams, pool_size=tier["pool"],
             network_name=name, rng=seed + 20,
         )
-        result = campaign.run(injections)
+        result = campaign.run(injections, workers=workers)
         rows.append(
             {
                 "network": name,
@@ -119,8 +124,12 @@ def main(argv=None):
     parser = standard_parser(__doc__.splitlines()[0])
     parser.add_argument("--injections", type=int, default=None,
                         help="override injections per network")
+    parser.add_argument("--workers", type=int, default=1, metavar="K",
+                        help="shard each campaign across K forked worker "
+                             "processes (bitwise-identical results)")
     args = parser.parse_args(argv)
-    results = run(scale=args.scale, seed=args.seed, injections=args.injections)
+    results = run(scale=args.scale, seed=args.seed, injections=args.injections,
+                  workers=args.workers)
     print(report(results))
     return results
 

@@ -68,7 +68,8 @@ def _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier):
     return model, info
 
 
-def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None):
+def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None,
+                      workers=1):
     """Combined corruption proportion of injections into ``layers``.
 
     With ``telemetry`` set (a JSONL path), the campaigns run *observed*
@@ -91,7 +92,8 @@ def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None)
             batch_size=tier["batch"], layer=layer, pool_size=tier["pool"],
             network_name=f"alexnet-layer{layer}", rng=seed + 30 + layer,
         )
-        result = campaign.run(tier["injections_per_layer"], observe=tracer)
+        result = campaign.run(tier["injections_per_layer"], observe=tracer,
+                              workers=workers)
         corruptions += result.corruptions
         injections += result.injections
     if tracer is not None:
@@ -104,13 +106,14 @@ def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None)
     return Proportion(corruptions, injections)
 
 
-def run(scale="small", seed=0, telemetry=None):
+def run(scale="small", seed=0, telemetry=None, workers=1):
     """Train the grid, measure early-layer vulnerability vs the baseline.
 
     ``telemetry`` (optional) is a directory: each grid cell's campaigns
     write a propagation-trace event log there (``baseline.jsonl``,
     ``alpha<a>_eps<e>.jsonl``) and the reported rates are derived from the
-    aggregated telemetry.
+    aggregated telemetry.  ``workers`` shards each cell's campaigns across
+    forked worker processes with bitwise-identical results.
     """
     tier = _TIER[check_scale(scale)]
     dataset = make_dataset("cifar10", seed=seed)
@@ -125,14 +128,14 @@ def run(scale="small", seed=0, telemetry=None):
 
     baseline, base_info = _trained_ibp_alexnet(dataset, 0.0, 0.0, scale, seed, tier)
     base_rate = _early_layer_rate(baseline, dataset, tier, seed,
-                                  telemetry=cell_log("baseline"))
+                                  telemetry=cell_log("baseline"), workers=workers)
     cells = []
     for eps in tier["epsilons"]:
         for alpha in tier["alphas"]:
             model, info = _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier)
             rate = _early_layer_rate(
                 model, dataset, tier, seed,
-                telemetry=cell_log(f"alpha{alpha:g}_eps{eps:g}"))
+                telemetry=cell_log(f"alpha{alpha:g}_eps{eps:g}"), workers=workers)
             relative = rate.rate / base_rate.rate if base_rate.rate > 0 else None
             cells.append(
                 {
@@ -188,8 +191,12 @@ def main(argv=None):
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write per-cell propagation-trace JSONL logs here and "
                              "derive the figure's rates from the telemetry")
+    parser.add_argument("--workers", type=int, default=1, metavar="K",
+                        help="shard each campaign across K forked worker "
+                             "processes (bitwise-identical results)")
     args = parser.parse_args(argv)
-    results = run(scale=args.scale, seed=args.seed, telemetry=args.telemetry)
+    results = run(scale=args.scale, seed=args.seed, telemetry=args.telemetry,
+                  workers=args.workers)
     print(report(results))
     return results
 

@@ -116,13 +116,18 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
             # (N, G, OH*OW, Cg*KH*KW)
             grad_cols = np.matmul(g_mat.transpose(0, 1, 3, 2), w_mat)
             grad_cols = grad_cols.reshape(n, groups, oh, ow, c_per_group, kh, kw)
-            grad_cols = grad_cols.transpose(0, 1, 4, 2, 3, 5, 6).reshape(n, c, oh, ow, kh, kw)
-            gx_padded = np.zeros_like(padded)
+            gx_padded = np.zeros(padded.shape, dtype=padded.dtype)
+            hp, wp = gx_padded.shape[2:]
+            # Accumulate through strided views on both sides instead of
+            # materialising the (N, C, OH, OW, KH, KW) transpose copy the
+            # scatter used to index; per-element addition order is the same
+            # (i, j) sweep, so gradients stay bitwise-identical.
+            gxg = gx_padded.reshape(n, groups, c_per_group, hp, wp)
             for i in range(kh):
                 for j in range(kw):
-                    gx_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += grad_cols[
-                        :, :, :, :, i, j
-                    ]
+                    gxg[:, :, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += (
+                        grad_cols[:, :, :, :, :, i, j].transpose(0, 1, 4, 2, 3)
+                    )
             grad_x = gx_padded[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx_padded
             grad_x = _as_dtype(grad_x, x.dtype)
         if bias is not None and bias.requires_grad:
@@ -188,7 +193,18 @@ def _conv2d_pointwise(x, weight, bias, w_mat, bias_vec, stride, groups, out_hw):
 
 
 def linear(x, weight, bias=None):
-    """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``."""
+    """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``.
+
+    Operands are cast to the input dtype first, the same guard ``conv2d``
+    applies: a float64 weight (or bias) would silently upcast the whole
+    matmul and force a downcast copy of the output.  ``Tensor.astype`` is
+    autograd-aware, so parameter gradients still arrive in the parameter's
+    own dtype.
+    """
+    if weight.dtype != x.dtype:
+        weight = weight.astype(x.dtype)
+    if bias is not None and bias.dtype != x.dtype:
+        bias = bias.astype(x.dtype)
     out = x @ weight.transpose(1, 0) if weight.ndim == 2 else x @ weight
     if bias is not None:
         out = out + bias
@@ -242,9 +258,19 @@ def avg_pool2d(x, kernel_size, stride=None, padding=0):
     def backward(g):
         grad_padded = np.zeros_like(padded, dtype=g.dtype)
         share = g / (kh * kw)
-        for i in range(kh):
-            for j in range(kw):
-                grad_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += share
+        if sh >= kh and sw >= kw:
+            # Non-overlapping windows: every padded cell belongs to at most
+            # one window, so a single broadcast assignment through the same
+            # strided window view the forward used replaces the kh*kw
+            # scatter loop.  Each cell is written (not accumulated) exactly
+            # once, so gradients are bitwise-identical to the loop.
+            win = sliding_window_view(
+                grad_padded, (kh, kw), axis=(2, 3), writeable=True)[:, :, ::sh, ::sw]
+            win[...] = share[:, :, :, :, None, None]
+        else:
+            for i in range(kh):
+                for j in range(kw):
+                    grad_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += share
         if ph or pw:
             return (grad_padded[:, :, ph : ph + h, pw : pw + w],)
         return (grad_padded,)

@@ -124,9 +124,17 @@ class PropagationTracer:
     def close(self):
         self.sink.close()
 
-    def begin(self, campaign, n_injections):
-        """Emit the campaign header and size the plan-ordered event buffer."""
+    def begin(self, campaign, n_injections, emit_header=True):
+        """Size the plan-ordered event buffer and emit the campaign header.
+
+        Parallel workers observe a *shard* of a campaign: they pass
+        ``emit_header=False`` so only the parent writes the one
+        ``campaign_start`` record, while every worker still buffers its
+        injection events by plan position.
+        """
         self._pending = [None] * n_injections
+        if not emit_header:
+            return
         self.sink.emit({
             "type": "campaign_start",
             "v": EVENT_SCHEMA_VERSION,
@@ -139,13 +147,24 @@ class PropagationTracer:
             "resume": campaign._resume is not None,
         })
 
-    def finish(self, campaign, result):
-        """Flush buffered injection events (plan order) and the campaign footer."""
+    def flush_pending(self):
+        """Emit buffered injection events in plan order; returns the count.
+
+        Shared by :meth:`finish` and by parallel workers, which flush their
+        shard's events to a per-worker sink without emitting a footer.
+        """
+        flushed = 0
         for event in self._pending:
             if event is not None:
                 self.sink.emit(event)
-                self.observed_injections += 1
+                flushed += 1
         self._pending = []
+        self.observed_injections += flushed
+        return flushed
+
+    def finish(self, campaign, result):
+        """Flush buffered injection events (plan order) and the campaign footer."""
+        self.flush_pending()
         self.sink.emit({
             "type": "campaign_end",
             "v": EVENT_SCHEMA_VERSION,

@@ -32,6 +32,7 @@ Usage::
 from .export import (
     SUMMARY_SCHEMA_VERSION,
     chrome_trace_events,
+    span_records,
     summary,
     text_table,
     write_artifacts,
@@ -68,6 +69,7 @@ __all__ = [
     "instrument",
     "profile_forward",
     "profile_model",
+    "span_records",
     "summary",
     "text_table",
     "write_artifacts",

@@ -16,14 +16,52 @@ from pathlib import Path
 SUMMARY_SCHEMA_VERSION = 1
 
 
+def span_records(profiler):
+    """Flatten a profiler's spans into picklable dicts.
+
+    The wire format parallel campaign workers ship their trace home in:
+    plain dicts with absolute ``perf_counter`` start/end times, adopted by
+    the parent via :meth:`Profiler.adopt_spans` and rendered by
+    :func:`chrome_trace_events` as a per-pid lane.
+    """
+    return [
+        {
+            "name": span.name,
+            "cat": span.cat,
+            "args": dict(span.args),
+            "start": span.start,
+            "end": span.end,
+            "self_s": span.self_seconds,
+            "alloc_bytes": span.alloc_bytes,
+            "overhead_s": span.overhead_s,
+        }
+        for span in profiler.spans
+    ]
+
+
 def chrome_trace_events(profiler, pid=1, tid=1):
-    """Render every recorded span as a Chrome trace-event ``X`` event."""
+    """Render every recorded span as a Chrome trace-event ``X`` event.
+
+    Spans adopted from other processes (``profiler.foreign_spans``, see
+    :meth:`Profiler.adopt_spans`) share the same time origin and render
+    under their own pid — one Perfetto view shows every lane of a
+    multi-process campaign.
+    """
     spans = list(profiler.spans)
-    origin = min((s.start for s in spans), default=0.0)
+    foreign = list(getattr(profiler, "foreign_spans", ()))
+    starts = [s.start for s in spans] + [r["start"] for r in foreign]
+    origin = min(starts, default=0.0)
     events = [
         {"ph": "M", "pid": pid, "tid": tid, "ts": 0,
          "name": "process_name", "args": {"name": "repro.profile"}},
     ]
+    seen_pids = {}
+    for record in foreign:
+        seen_pids.setdefault(record["pid"],
+                             record.get("process_name") or f"repro.worker[{record['pid']}]")
+    for fpid, name in sorted(seen_pids.items()):
+        events.append({"ph": "M", "pid": fpid, "tid": tid, "ts": 0,
+                       "name": "process_name", "args": {"name": name}})
     for span in spans:
         args = dict(span.args)
         args["self_us"] = round(span.self_seconds * 1e6, 3)
@@ -38,6 +76,23 @@ def chrome_trace_events(profiler, pid=1, tid=1):
             "ts": round((span.start - origin) * 1e6, 3),
             "dur": round(span.duration_s * 1e6, 3),
             "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    for record in foreign:
+        args = dict(record["args"])
+        args["self_us"] = round(record["self_s"] * 1e6, 3)
+        if record["alloc_bytes"]:
+            args["alloc_bytes"] = int(record["alloc_bytes"])
+        if record["overhead_s"]:
+            args["profiler_overhead_us"] = round(record["overhead_s"] * 1e6, 3)
+        events.append({
+            "ph": "X",
+            "name": record["name"],
+            "cat": record["cat"] or "span",
+            "ts": round((record["start"] - origin) * 1e6, 3),
+            "dur": round((record["end"] - record["start"]) * 1e6, 3),
+            "pid": record["pid"],
             "tid": tid,
             "args": args,
         })

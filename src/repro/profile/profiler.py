@@ -172,6 +172,7 @@ class Profiler:
         self.enabled = True
         self.roots = []
         self.spans = []  # every span, in start order
+        self.foreign_spans = []  # adopted flat span records from other processes
         self.overhead_s = 0.0
         self.metrics = MetricsRegistry()
         self._stack = []
@@ -194,12 +195,31 @@ class Profiler:
         if self._stack:
             self._stack[-1].alloc_bytes += nbytes
 
+    def adopt_spans(self, records, pid, process_name=None):
+        """Adopt flat span records from another process as a trace lane.
+
+        ``records`` is a list of dicts from
+        :func:`repro.profile.export.span_records` — picklable snapshots of
+        a worker profiler's spans with absolute ``perf_counter`` times
+        (``CLOCK_MONOTONIC`` is system-wide on Linux, so forked workers
+        share the parent's timeline).  Chrome-trace export renders each
+        adopted pid as its own process lane, labelled ``process_name``.
+        """
+        for record in records:
+            adopted = dict(record)
+            adopted["pid"] = int(pid)
+            if process_name is not None:
+                adopted["process_name"] = process_name
+            self.foreign_spans.append(adopted)
+        return self
+
     def reset(self):
         """Drop all recorded spans and metrics (the clock choice stays)."""
         if self._stack:
             raise RuntimeError("cannot reset a profiler with open spans")
         self.roots = []
         self.spans = []
+        self.foreign_spans = []
         self.overhead_s = 0.0
         self.metrics = MetricsRegistry()
         return self
@@ -264,10 +284,14 @@ class NullProfiler:
     def __init__(self):
         self.roots = ()
         self.spans = ()
+        self.foreign_spans = ()
         self.metrics = MetricsRegistry()
 
     def span(self, name, cat="", **args):
         return _NULL_CONTEXT
+
+    def adopt_spans(self, records, pid, process_name=None):
+        return self
 
     @property
     def current(self):

@@ -193,3 +193,61 @@ class TestProfileRuntimeCommand:
         paths = {r["path"] for r in summary["spans"]}
         assert any("campaign.chunk" in p for p in paths)
         assert "campaign.injections" in summary["metrics"]["counters"]
+
+
+class TestInjectCampaignJson:
+    def test_campaign_payload_fields(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke", "--campaign", "8",
+                     "--batch-size", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["mode"] == "campaign"
+        assert payload["injections"] == 8
+        assert payload["workers"] == 1
+        assert payload["per_worker_injections"] == [8]
+        assert payload["wall_time_s"] > 0
+        assert payload["corruptions"] + 0 >= 0
+        assert payload["perf"]["injections"] == 8
+
+    def test_campaign_workers_shard_the_run(self, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        assert main(["inject", "alexnet", "--scale", "smoke", "--campaign", "8",
+                     "--batch-size", "4", "--workers", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        assert sum(payload["per_worker_injections"]) == 8
+        assert len(payload["per_worker_injections"]) == 2
+
+    def test_workers_equal_serial_outcomes(self, capsys):
+        """The CLI surface honours the bitwise workers==serial guarantee."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        outcomes = {}
+        for workers in ("1", "2"):
+            assert main(["inject", "alexnet", "--scale", "smoke",
+                         "--campaign", "8", "--batch-size", "4",
+                         "--workers", workers, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            outcomes[workers] = (payload["corruptions"],
+                                 payload["perf"]["cache_hits"],
+                                 payload["perf"]["forwards"])
+        assert outcomes["1"] == outcomes["2"]
+
+    def test_workers_without_campaign_fails(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke",
+                     "--workers", "2", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "--campaign" in payload["error"]
+
+    def test_campaign_layer_out_of_range_fails(self, capsys):
+        assert main(["inject", "alexnet", "--scale", "smoke", "--campaign", "4",
+                     "--layer", "99", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "out of range" in payload["error"]

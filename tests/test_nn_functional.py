@@ -298,3 +298,120 @@ class TestLosses:
 
         fn().backward()
         assert_grad_close(logits.grad, numerical_gradient(fn, logits))
+
+
+class TestLinearDtypeGuard:
+    """linear() casts weight/bias to the input dtype, like conv2d does."""
+
+    def test_output_dtype_follows_input(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        weight = Tensor(rng.standard_normal((3, 8)), dtype=np.float64)
+        bias = Tensor(rng.standard_normal(3), dtype=np.float64)
+        out = F.linear(x, weight, bias)
+        assert out.dtype == np.float32
+        reference = F.linear(x, weight.astype(np.float32), bias.astype(np.float32))
+        np.testing.assert_array_equal(out.data, reference.data)
+
+    def test_param_grads_keep_param_dtype(self, rng):
+        x = Tensor(rng.standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        weight = Tensor(rng.standard_normal((3, 8)), dtype=np.float64, requires_grad=True)
+        bias = Tensor(rng.standard_normal(3), dtype=np.float64, requires_grad=True)
+        F.linear(x, weight, bias).sum().backward()
+        assert x.grad.dtype == np.float32
+        assert weight.grad.dtype == np.float64
+        assert bias.grad.dtype == np.float64
+
+    def test_no_float64_intermediate(self, rng):
+        """The largest tensor allocated must be the float32 output, not a
+        float64 matmul product twice its size."""
+        from repro.tensor.tensor import set_alloc_hook
+
+        x = Tensor(rng.standard_normal((256, 64)).astype(np.float32))
+        w32 = Tensor(rng.standard_normal((128, 64)).astype(np.float32))
+        b32 = Tensor(rng.standard_normal(128).astype(np.float32))
+        w64 = w32.astype(np.float64)
+        b64 = b32.astype(np.float64)
+
+        def max_alloc(weight, bias):
+            allocs = []
+            previous = set_alloc_hook(allocs.append)
+            try:
+                F.linear(x, weight, bias)
+            finally:
+                set_alloc_hook(previous)
+            return max(allocs)
+
+        baseline = max_alloc(w32, b32)
+        assert baseline == 256 * 128 * 4  # the float32 output itself
+        assert max_alloc(w64, b64) == baseline
+
+
+class TestVectorizedBackwardBitwise:
+    """The strided-accumulation backward paths match the scatter loops bitwise."""
+
+    @pytest.mark.parametrize(
+        "kernel,stride,padding,hw",
+        [((2, 2), (2, 2), (0, 0), (8, 8)),      # classic non-overlapping
+         ((3, 3), (3, 3), (0, 0), (9, 9)),
+         ((4, 4), (4, 4), (0, 0), (16, 16)),
+         ((2, 2), (3, 3), (1, 1), (8, 8)),      # gaps between windows
+         ((3, 2), (2, 2), (1, 0), (8, 8)),      # overlapping rows: loop path
+         ((2, 2), (1, 1), (0, 0), (6, 6))],     # fully overlapping: loop path
+    )
+    def test_avg_pool2d_backward_matches_scatter_loop(self, rng, kernel, stride,
+                                                      padding, hw):
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        h, w = hw
+        x = Tensor(rng.standard_normal((3, 5, h, w)).astype(np.float32),
+                   requires_grad=True)
+        out = F.avg_pool2d(x, kernel, stride=stride, padding=padding)
+        g = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(Tensor(g))
+        oh, ow = out.shape[2:]
+        grad_padded = np.zeros((3, 5, h + 2 * ph, w + 2 * pw), dtype=np.float32)
+        share = g / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                grad_padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += share
+        expected = grad_padded[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else grad_padded
+        np.testing.assert_array_equal(x.grad.data, expected)
+
+    @pytest.mark.parametrize(
+        "cin,cout,groups,kernel,stride,padding,hw",
+        [(6, 8, 1, (3, 3), (1, 1), (1, 1), (10, 10)),
+         (6, 8, 2, (3, 3), (2, 2), (1, 1), (11, 11)),
+         (8, 8, 8, (3, 3), (1, 1), (1, 1), (8, 8)),   # depthwise
+         (4, 6, 1, (5, 3), (2, 1), (2, 1), (12, 12)),
+         (3, 8, 1, (3, 3), (1, 1), (0, 0), (9, 9))],
+    )
+    def test_conv2d_input_grad_matches_col2im_loop(self, rng, cin, cout, groups,
+                                                   kernel, stride, padding, hw):
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        h, w = hw
+        n, c_per_group = 2, cin // groups
+        x = Tensor(rng.standard_normal((n, cin, h, w)).astype(np.float32),
+                   requires_grad=True)
+        wt = Tensor(rng.standard_normal((cout, c_per_group, kh, kw)).astype(np.float32),
+                    requires_grad=True)
+        out = F.conv2d(x, wt, stride=stride, padding=padding, groups=groups)
+        g = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(Tensor(g))
+        # Reference: the pre-vectorisation col2im scatter over a transposed copy.
+        oh, ow = out.shape[2:]
+        w_mat = wt.data.reshape(groups, cout // groups, c_per_group * kh * kw)
+        g_mat = np.ascontiguousarray(g).reshape(n, groups, cout // groups, oh * ow)
+        grad_cols = np.matmul(g_mat.transpose(0, 1, 3, 2), w_mat)
+        grad_cols = grad_cols.reshape(n, groups, oh, ow, c_per_group, kh, kw)
+        grad_cols = grad_cols.transpose(0, 1, 4, 2, 3, 5, 6).reshape(
+            n, cin, oh, ow, kh, kw)
+        gx = np.zeros((n, cin, h + 2 * ph, w + 2 * pw), dtype=np.float32)
+        for i in range(kh):
+            for j in range(kw):
+                gx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += (
+                    grad_cols[:, :, :, :, i, j])
+        expected = gx[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gx
+        np.testing.assert_array_equal(x.grad.data, expected)

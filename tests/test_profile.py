@@ -468,3 +468,59 @@ class TestHeartbeat:
         assert coerce_progress(fn, None) is fn
         with pytest.raises(TypeError, match="progress"):
             coerce_progress(3, None)
+
+
+class TestMetricsMerge:
+    def _worker_registry(self, k):
+        """Distinct per-worker metrics (dyadic values keep float sums exact)."""
+        reg = MetricsRegistry()
+        reg.counter("campaign.injections", help="inj").inc(4 * k)
+        reg.gauge("campaign.cache_bytes").set(256.0 * k)
+        hist = reg.histogram("campaign.chunk_seconds", buckets=(0.5, 2.0))
+        hist.observe(0.25 * k)
+        hist.observe(1.0 + k)
+        return reg
+
+    def test_merge_snapshot_adds_counters_gauges_and_histograms(self):
+        merged = self._worker_registry(1)
+        merged.merge_snapshot(self._worker_registry(2).snapshot())
+        assert merged["campaign.injections"].value == 12
+        assert merged["campaign.cache_bytes"].value == pytest.approx(768.0)
+        hist = merged["campaign.chunk_seconds"]
+        assert hist.count == 4
+        assert hist.counts == [2, 1, 1]  # 0.25, 0.5 | 2.0 | 3.0
+        assert hist.min == pytest.approx(0.25)
+        assert hist.max == pytest.approx(3.0)
+
+    def test_merge_creates_missing_metrics(self):
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._worker_registry(1).snapshot())
+        assert merged["campaign.injections"].value == 4
+        assert merged["campaign.chunk_seconds"].count == 2
+
+    def test_merge_is_associative_and_commutative(self):
+        """Any merge order over K worker snapshots gives the same registry."""
+        import itertools
+
+        snapshots = {k: self._worker_registry(k).snapshot() for k in (1, 2, 3)}
+        outcomes = set()
+        for order in itertools.permutations((1, 2, 3)):
+            merged = MetricsRegistry()
+            for k in order:
+                merged.merge_snapshot(snapshots[k])
+            outcomes.add(json.dumps(merged.snapshot(), sort_keys=True))
+        assert len(outcomes) == 1
+
+    def test_merge_returns_self_for_chaining(self):
+        reg = MetricsRegistry()
+        assert reg.merge_snapshot(self._worker_registry(1).snapshot()) is reg
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("campaign.chunk_seconds", buckets=(1.0, 10.0))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            reg.merge_snapshot(self._worker_registry(1).snapshot())
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry().merge_snapshot({"schema": 99})
