@@ -7,7 +7,15 @@ from .criteria import (
     Top1NotInTopK,
     as_criterion,
 )
-from .parallel import ParallelCampaignExecutor, partition_chunks
+from .parallel import CampaignInterrupted, ParallelCampaignExecutor, partition_chunks
+from .recovery import (
+    CampaignJournal,
+    JournalError,
+    JournalMismatchError,
+    RecoveryPolicy,
+    load_journal,
+    plan_fingerprint,
+)
 from .resume import ActivationCheckpointCache, CampaignResumeEngine
 from .runner import CampaignResult, InjectionCampaign
 from .trace import InjectionEvent, InjectionTrace, margin
@@ -16,15 +24,22 @@ from .stats import Proportion, normal_interval, required_trials, wilson_interval
 __all__ = [
     "ActivationCheckpointCache",
     "CRITERIA",
+    "CampaignInterrupted",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignResumeEngine",
     "ConfidenceDrop",
+    "JournalError",
+    "JournalMismatchError",
+    "RecoveryPolicy",
     "InjectionCampaign",
     "InjectionEvent",
     "InjectionTrace",
     "ParallelCampaignExecutor",
+    "load_journal",
     "margin",
     "partition_chunks",
+    "plan_fingerprint",
     "Proportion",
     "Top1Misclassification",
     "Top1NotInTopK",

@@ -309,7 +309,8 @@ class InjectionCampaign:
             self.fi.reset()
 
     def _execute_plan(self, chunks, pool_idx, layers, coords, seeds, *,
-                      observer=None, events=None, on_progress=None):
+                      observer=None, events=None, on_progress=None,
+                      on_chunk=None, chunk_ids=None):
         """Execute ``chunks`` of an upfront plan; returns per-layer tallies.
 
         The shared execution core of the serial path and each parallel
@@ -318,9 +319,19 @@ class InjectionCampaign:
         from no generator and its results depend only on ``chunks``.
 
         ``events``, when not None, is a mutable mapping (list or dict)
-        filled with one trace-event dict per plan position.  Returns
-        ``(per_layer_injections, per_layer_corruptions, corrupted_total)``.
+        filled with one trace-event dict per plan position.
+
+        ``on_chunk(chunk_id, info)``, when set, fires after every chunk
+        with a JSON-serialisable completion record — layer, positions,
+        injection/corruption counts, the chunk's perf-counter deltas, and
+        (when tracing) its trace events.  The journal writer and the
+        parallel workers' per-chunk reports are both built from it;
+        ``chunk_ids`` names each chunk's global plan id (defaults to its
+        position in ``chunks``).  Returns ``(per_layer_injections,
+        per_layer_corruptions, corrupted_total)``.
         """
+        from . import recovery as recovery_mod
+
         prof = self.profiler
         chunk_hist = prof.metrics.histogram(
             "campaign.chunk_seconds", help="wall clock per injection chunk"
@@ -329,9 +340,12 @@ class InjectionCampaign:
         per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
         per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
         corrupted_total = 0
-        for positions in chunks:
+        for ci, positions in enumerate(chunks):
             layer_idx = int(layers[positions[0]])
             idx = pool_idx[positions]
+            perf_before = (recovery_mod.perf_snapshot(self)
+                           if on_chunk is not None else None)
+            corrupted_before = corrupted_total
             cache_before = (
                 (cache.hits, cache.misses, cache.evictions)
                 if cache is not None and prof.enabled else None
@@ -388,6 +402,21 @@ class InjectionCampaign:
                         resumed=resumed,
                         latency_s=chunk_elapsed,
                     )
+            if on_chunk is not None:
+                info = {
+                    "layer": layer_idx,
+                    "positions": [int(p) for p in positions],
+                    "injections": len(positions),
+                    "corruptions": int(corrupted_total - corrupted_before),
+                    "perf": recovery_mod.perf_delta(self, perf_before),
+                }
+                if events is not None:
+                    info["trace_events"] = [
+                        [int(p), {**events[p],
+                                  "coords": [int(c) for c in events[p]["coords"]]}]
+                        for p in positions
+                    ]
+                on_chunk(chunk_ids[ci] if chunk_ids is not None else ci, info)
             if on_progress is not None:
                 on_progress(len(positions))
         return per_layer_inj, per_layer_cor, corrupted_total
@@ -414,7 +443,7 @@ class InjectionCampaign:
             self.perf.publish(self.profiler.metrics)
 
     def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None,
-            workers=1):
+            workers=1, journal=None, recovery=None):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
@@ -443,6 +472,20 @@ class InjectionCampaign:
         bitwise-identical to ``workers=1`` — only wall clock changes.  On
         platforms without ``fork`` the campaign falls back to serial with a
         :class:`RuntimeWarning`.
+
+        ``journal=`` names a crash-consistent write-ahead log
+        (:mod:`repro.campaign.recovery`): every completed chunk is
+        fsync'd to it, and a rerun against the same journal path (same
+        campaign construction, same seed, same ``n_injections``) resumes
+        exactly where the interrupted run stopped — including after
+        ``kill -9`` — with bitwise-identical results.  A journal written
+        for a different plan or model is rejected with
+        :class:`~repro.campaign.recovery.JournalMismatchError`.
+
+        ``recovery=`` (parallel runs only) is a
+        :class:`~repro.campaign.recovery.RecoveryPolicy` (or kwargs dict)
+        tuning chunk retry, worker respawn, the per-chunk watchdog, and
+        graceful-shutdown draining.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
@@ -453,9 +496,9 @@ class InjectionCampaign:
         if workers > 1:
             from .parallel import ParallelCampaignExecutor
 
-            return ParallelCampaignExecutor(self, workers).run(
+            return ParallelCampaignExecutor(self, workers, recovery=recovery).run(
                 n_injections, confidence=confidence, progress=progress,
-                trace=trace, observe=observe)
+                trace=trace, observe=observe, journal=journal)
         progress = coerce_progress(progress, self)
         observer = None
         if observe is not None and observe is not False:
@@ -468,7 +511,19 @@ class InjectionCampaign:
         prof = self.profiler
         with prof.span("campaign.plan", cat="campaign", injections=n_injections):
             pool_idx, layers, coords, seeds = self._plan(n_injections)
-        events = [None] * n_injections if trace is not None else None
+        chunks = self._chunks(layers, n_injections)
+        journal_log = None
+        completed = {}
+        if journal is not None:
+            from . import recovery as recovery_mod
+
+            journal_log, completed = recovery_mod.open_journal(
+                journal, self, n_injections,
+                (pool_idx, layers, coords, seeds), len(chunks))
+        # A journal always captures trace events: the run that resumes it
+        # may ask for a trace even if this (interrupted) one did not.
+        record_events = trace is not None or journal is not None
+        events = [None] * n_injections if record_events else None
         done = 0
 
         def on_progress(k):
@@ -479,11 +534,34 @@ class InjectionCampaign:
         try:
             if observer is not None:
                 observer.begin(self, n_injections)
-            per_layer_inj, per_layer_cor, corrupted_total = self._execute_plan(
-                self._chunks(layers, n_injections), pool_idx, layers, coords, seeds,
+            # Replay journaled chunks into the tallies without executing
+            # them; their perf records fold in through the same delta
+            # ledger parallel workers use, so a resumed run's counters
+            # match an undisturbed run's exactly.
+            per_layer_inj = np.zeros(self.fi.num_layers, dtype=np.int64)
+            per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
+            corrupted_total = 0
+            for record in completed.values():
+                per_layer_inj[record["layer"]] += record["injections"]
+                per_layer_cor[record["layer"]] += record["corruptions"]
+                corrupted_total += record["corruptions"]
+                recovery_mod.apply_chunk_perf(self, record["perf"])
+                if events is not None:
+                    for p, ev in recovery_mod.chunk_record_events(record).items():
+                        events[p] = ev
+                if progress is not None:
+                    on_progress(record["injections"])
+            remaining_ids = [i for i in range(len(chunks)) if i not in completed]
+            exec_inj, exec_cor, exec_corrupted = self._execute_plan(
+                [chunks[i] for i in remaining_ids], pool_idx, layers, coords, seeds,
                 observer=observer, events=events,
-                on_progress=on_progress if progress is not None else None)
-            if events is not None:
+                on_progress=on_progress if progress is not None else None,
+                on_chunk=journal_log.write_chunk if journal_log is not None else None,
+                chunk_ids=remaining_ids)
+            per_layer_inj += exec_inj
+            per_layer_cor += exec_cor
+            corrupted_total += exec_corrupted
+            if trace is not None:
                 for event in events:
                     trace.record(**event)
             self._finalize_perf(n_injections, time.perf_counter() - started)
@@ -496,9 +574,13 @@ class InjectionCampaign:
                 per_layer_injections=per_layer_inj,
                 per_layer_corruptions=per_layer_cor,
             )
+            if journal_log is not None:
+                journal_log.write_footer(result)
             if observer is not None:
                 observer.finish(self, result)
             return result
         finally:
+            if journal_log is not None:
+                journal_log.close()
             if observer is not None:
                 observer.detach()

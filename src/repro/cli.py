@@ -188,13 +188,18 @@ def _inject_campaign(args):
     """``repro inject --campaign N``: a scriptable injection campaign.
 
     With ``--workers K`` the campaign shards across K forked processes;
-    the ``--json`` record carries ``workers``, ``wall_time_s``, and
-    per-worker injection counts so throughput is scriptable either way.
+    the ``--json`` record carries ``workers``, ``wall_time_s``, per-worker
+    injection counts, and the recovery ledger (``retries``,
+    ``requeued_chunks``, ``quarantined_chunks``) so throughput and fleet
+    health are scriptable either way.  Exit codes: 0 for a clean run, 3
+    for a *degraded* one (the campaign completed, but only by retrying or
+    quarantining chunks after worker failures), 130 on interrupt — where
+    ``--journal`` makes the run resumable from exactly where it stopped.
     """
     import time
 
     from . import models, tensor
-    from .campaign import InjectionCampaign
+    from .campaign import CampaignInterrupted, InjectionCampaign
     from .data import SyntheticClassification
 
     tensor.manual_seed(args.seed)
@@ -220,13 +225,38 @@ def _inject_campaign(args):
             f"(0..{campaign.fi.num_layers - 1})",
         )
     started = time.perf_counter()
-    result = campaign.run(args.campaign, workers=args.workers,
-                          progress=not args.json)
+    try:
+        result = campaign.run(args.campaign, workers=args.workers,
+                              progress=not args.json, journal=args.journal)
+    except CampaignInterrupted as exc:
+        partial = exc.partial
+        if args.json:
+            print(json.dumps({"ok": False, "interrupted": True, **partial},
+                             sort_keys=True))
+        else:
+            print(f"interrupted: {partial['completed_injections']}"
+                  f"/{partial['n_injections']} injections completed",
+                  file=sys.stderr)
+            if partial.get("journal"):
+                print(f"resume with: repro inject {args.model} --campaign "
+                      f"{args.campaign} --seed {args.seed} --journal "
+                      f"{partial['journal']}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        if args.json:
+            print(json.dumps({"ok": False, "interrupted": True}))
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
     wall = time.perf_counter() - started
     info = campaign.parallel_info
     workers_used = info["workers"] if info else 1
     wall_time = info["wall_time_s"] if info else wall
     per_worker = info["per_worker_injections"] if info else [args.campaign]
+    retries = info["retries"] if info else 0
+    requeued = info["requeued_chunks"] if info else 0
+    quarantined = info["quarantined_chunks"] if info else 0
+    degraded = retries > 0 or requeued > 0 or quarantined > 0
     if args.json:
         print(json.dumps({
             "ok": True,
@@ -243,15 +273,23 @@ def _inject_campaign(args):
             "workers": int(workers_used),
             "wall_time_s": float(wall_time),
             "per_worker_injections": [int(k) for k in per_worker],
+            "retries": int(retries),
+            "requeued_chunks": int(requeued),
+            "quarantined_chunks": int(quarantined),
+            "degraded": degraded,
+            "journal": args.journal,
             "perf": campaign.perf.as_dict(),
         }, sort_keys=True))
-        return 0
+        return 3 if degraded else 0
     print(f"campaign: {result.injections} injections on {args.model}, "
           f"{result.corruptions} corruptions ({result.proportion})")
     print(f"workers: {workers_used}  wall time: {wall_time:.3f}s  "
           f"per-worker injections: {per_worker}")
+    if degraded:
+        print(f"degraded: {retries} retried, {requeued} requeued, "
+              f"{quarantined} quarantined chunk(s)")
     print(f"perf: {campaign.perf}")
-    return 0
+    return 3 if degraded else 0
 
 
 def _cmd_inject(args):
@@ -260,6 +298,8 @@ def _cmd_inject(args):
 
     if args.workers is not None and args.workers > 1 and not args.campaign:
         return _inject_fail(args, "--workers requires --campaign N")
+    if args.journal is not None and not args.campaign:
+        return _inject_fail(args, "--journal requires --campaign N")
     if args.campaign:
         return _inject_campaign(args)
     tensor.manual_seed(args.seed)
@@ -382,6 +422,11 @@ def build_parser():
                            help="run an N-injection campaign instead of one shot")
             p.add_argument("--batch-size", type=int, default=16,
                            help="injections per forward in campaign mode")
+            p.add_argument("--journal", default=None, metavar="PATH",
+                           help="crash-consistent campaign journal: completed "
+                                "chunks are fsync'd to PATH, and re-running "
+                                "the same command resumes exactly where an "
+                                "interrupted (even kill -9'd) run stopped")
         else:
             p.add_argument("--model", dest="model_flag", default=None, metavar="NAME",
                            help="runtime-profile this model and write Chrome-trace "

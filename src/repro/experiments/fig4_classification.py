@@ -11,6 +11,8 @@ ShuffleNet show similar susceptibility despite very different sizes).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from ..campaign import InjectionCampaign
 from ..core import FaultInjection, SingleBitFlip
 from ..data import make_dataset
@@ -48,12 +50,18 @@ _TRAIN_CONFIG = {
 }
 
 
-def run(scale="small", seed=0, networks=None, injections=None, workers=1):
+def run(scale="small", seed=0, networks=None, injections=None, workers=1,
+        journal_dir=None):
     """Run the campaign per network; returns ``{"rows": [...]}``.
 
     ``workers`` shards each network's campaign across forked worker
     processes (results bitwise-identical to serial — see
-    :mod:`repro.campaign.parallel`).
+    :mod:`repro.campaign.parallel`).  ``journal_dir`` makes the sweep
+    crash-consistent: each network's campaign journals its completed
+    chunks to ``<journal_dir>/fig4_<network>.jsonl``
+    (:mod:`repro.campaign.recovery`), so rerunning after an interrupt —
+    ``kill -9`` included — resumes each campaign exactly where it stopped
+    instead of repeating finished work.
     """
     check_scale(scale)
     tier = _TIER[scale]
@@ -79,7 +87,11 @@ def run(scale="small", seed=0, networks=None, injections=None, workers=1):
             batch_size=tier["batch"], quantization=qparams, pool_size=tier["pool"],
             network_name=name, rng=seed + 20,
         )
-        result = campaign.run(injections, workers=workers)
+        journal = None
+        if journal_dir is not None:
+            journal = Path(journal_dir) / f"fig4_{name}.jsonl"
+            journal.parent.mkdir(parents=True, exist_ok=True)
+        result = campaign.run(injections, workers=workers, journal=journal)
         rows.append(
             {
                 "network": name,
@@ -127,9 +139,12 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=1, metavar="K",
                         help="shard each campaign across K forked worker "
                              "processes (bitwise-identical results)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="journal each network's campaign here; a rerun "
+                             "resumes interrupted campaigns exactly")
     args = parser.parse_args(argv)
     results = run(scale=args.scale, seed=args.seed, injections=args.injections,
-                  workers=args.workers)
+                  workers=args.workers, journal_dir=args.journal_dir)
     print(report(results))
     return results
 

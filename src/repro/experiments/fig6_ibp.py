@@ -69,7 +69,7 @@ def _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier):
 
 
 def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None,
-                      workers=1):
+                      workers=1, journal_dir=None, cell=None):
     """Combined corruption proportion of injections into ``layers``.
 
     With ``telemetry`` set (a JSONL path), the campaigns run *observed*
@@ -92,8 +92,12 @@ def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None,
             batch_size=tier["batch"], layer=layer, pool_size=tier["pool"],
             network_name=f"alexnet-layer{layer}", rng=seed + 30 + layer,
         )
+        journal = None
+        if journal_dir is not None:
+            journal = Path(journal_dir) / f"fig6_{cell}_layer{layer}.jsonl"
+            journal.parent.mkdir(parents=True, exist_ok=True)
         result = campaign.run(tier["injections_per_layer"], observe=tracer,
-                              workers=workers)
+                              workers=workers, journal=journal)
         corruptions += result.corruptions
         injections += result.injections
     if tracer is not None:
@@ -106,14 +110,16 @@ def _early_layer_rate(model, dataset, tier, seed, layers=(0, 1), telemetry=None,
     return Proportion(corruptions, injections)
 
 
-def run(scale="small", seed=0, telemetry=None, workers=1):
+def run(scale="small", seed=0, telemetry=None, workers=1, journal_dir=None):
     """Train the grid, measure early-layer vulnerability vs the baseline.
 
     ``telemetry`` (optional) is a directory: each grid cell's campaigns
     write a propagation-trace event log there (``baseline.jsonl``,
     ``alpha<a>_eps<e>.jsonl``) and the reported rates are derived from the
     aggregated telemetry.  ``workers`` shards each cell's campaigns across
-    forked worker processes with bitwise-identical results.
+    forked worker processes with bitwise-identical results.  ``journal_dir``
+    journals every per-layer campaign (:mod:`repro.campaign.recovery`) so
+    an interrupted grid sweep resumes exactly where it stopped.
     """
     tier = _TIER[check_scale(scale)]
     dataset = make_dataset("cifar10", seed=seed)
@@ -128,14 +134,16 @@ def run(scale="small", seed=0, telemetry=None, workers=1):
 
     baseline, base_info = _trained_ibp_alexnet(dataset, 0.0, 0.0, scale, seed, tier)
     base_rate = _early_layer_rate(baseline, dataset, tier, seed,
-                                  telemetry=cell_log("baseline"), workers=workers)
+                                  telemetry=cell_log("baseline"), workers=workers,
+                                  journal_dir=journal_dir, cell="baseline")
     cells = []
     for eps in tier["epsilons"]:
         for alpha in tier["alphas"]:
             model, info = _trained_ibp_alexnet(dataset, alpha, eps, scale, seed, tier)
             rate = _early_layer_rate(
                 model, dataset, tier, seed,
-                telemetry=cell_log(f"alpha{alpha:g}_eps{eps:g}"), workers=workers)
+                telemetry=cell_log(f"alpha{alpha:g}_eps{eps:g}"), workers=workers,
+                journal_dir=journal_dir, cell=f"alpha{alpha:g}_eps{eps:g}")
             relative = rate.rate / base_rate.rate if base_rate.rate > 0 else None
             cells.append(
                 {
@@ -194,9 +202,12 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=1, metavar="K",
                         help="shard each campaign across K forked worker "
                              "processes (bitwise-identical results)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="journal each per-layer campaign here; a rerun "
+                             "resumes interrupted campaigns exactly")
     args = parser.parse_args(argv)
     results = run(scale=args.scale, seed=args.seed, telemetry=args.telemetry,
-                  workers=args.workers)
+                  workers=args.workers, journal_dir=args.journal_dir)
     print(report(results))
     return results
 

@@ -11,6 +11,7 @@ treat-as-miss policy `repro.train.cache` applies to corrupt weight files.
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from pathlib import Path
 
@@ -48,13 +49,21 @@ class JsonlEventSink:
     campaigns stop paying one syscall per injection.  The sink always
     flushes on :meth:`close` and on context-manager exit, whatever the
     setting.
+
+    ``fsync=True`` upgrades every flush to a full ``os.fsync``: the data
+    is on stable storage (not just in the kernel page cache) before
+    :meth:`emit` returns, so even ``kill -9`` or a machine crash tears at
+    most the record being written.  This is the durability mode the
+    campaign journal (:mod:`repro.campaign.recovery`) writes through; a
+    torn final record is skipped on reload by :func:`load_events`.
     """
 
-    def __init__(self, path, flush_every=1):
+    def __init__(self, path, flush_every=1, fsync=False):
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = Path(path)
         self.flush_every = int(flush_every)
+        self.fsync = bool(fsync)
         self._fh = None
         self._unflushed = 0
 
@@ -65,16 +74,18 @@ class JsonlEventSink:
         self._fh.write(json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n")
         self._unflushed += 1
         if self._unflushed >= self.flush_every:
-            self._fh.flush()
-            self._unflushed = 0
+            self.flush()
 
     def flush(self):
         if self._fh is not None:
             self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
             self._unflushed = 0
 
     def close(self):
         if self._fh is not None:
+            self.flush()
             self._fh.close()
             self._fh = None
             self._unflushed = 0

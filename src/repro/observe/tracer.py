@@ -162,6 +162,24 @@ class PropagationTracer:
         self.observed_injections += flushed
         return flushed
 
+    def take_events(self, positions):
+        """Pop the buffered events at ``positions``; returns the list.
+
+        Parallel workers call this after every chunk so events reach their
+        shard sink (and disk) chunk-by-chunk instead of at campaign end —
+        a worker killed mid-campaign has already persisted every completed
+        chunk's telemetry.  Order inside the list follows ``positions``;
+        the index-keyed merge restores plan order regardless.
+        """
+        taken = []
+        for p in positions:
+            event = self._pending[p]
+            if event is not None:
+                taken.append(event)
+                self._pending[p] = None
+        self.observed_injections += len(taken)
+        return taken
+
     def finish(self, campaign, result):
         """Flush buffered injection events (plan order) and the campaign footer."""
         self.flush_pending()

@@ -29,6 +29,15 @@ class CampaignPerfCounters:
     cache_evictions: int = 0
     cache_bytes: int = 0
     resume_enabled: bool = False
+    # Recovery tallies (repro.campaign.recovery): failed chunk-execution
+    # attempts, requeue events, chunks poisoned after exhausting retries,
+    # and the worker deaths/replacements behind them.  All zero on an
+    # undisturbed run, so clean parallel == serial tallies still hold.
+    chunk_retries: int = 0
+    chunks_requeued: int = 0
+    chunks_quarantined: int = 0
+    worker_failures: int = 0
+    worker_respawns: int = 0
 
     @property
     def injections_per_sec(self):
@@ -85,6 +94,11 @@ class CampaignPerfCounters:
         self.cache_evictions += other.cache_evictions
         self.cache_bytes += other.cache_bytes
         self.resume_enabled = self.resume_enabled or other.resume_enabled
+        self.chunk_retries += other.chunk_retries
+        self.chunks_requeued += other.chunks_requeued
+        self.chunks_quarantined += other.chunks_quarantined
+        self.worker_failures += other.worker_failures
+        self.worker_respawns += other.worker_respawns
         return self
 
     def publish(self, registry, prefix="campaign"):
@@ -105,6 +119,11 @@ class CampaignPerfCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "chunk_retries": self.chunk_retries,
+            "chunks_requeued": self.chunks_requeued,
+            "chunks_quarantined": self.chunks_quarantined,
+            "worker_failures": self.worker_failures,
+            "worker_respawns": self.worker_respawns,
         }
         for name, value in tallies.items():
             registry.counter(f"{prefix}.{name}").set_floor(value)
@@ -137,6 +156,11 @@ class CampaignPerfCounters:
             "cache_hit_rate": self.cache_hit_rate,
             "cache_bytes": self.cache_bytes,
             "resume_enabled": self.resume_enabled,
+            "chunk_retries": self.chunk_retries,
+            "chunks_requeued": self.chunks_requeued,
+            "chunks_quarantined": self.chunks_quarantined,
+            "worker_failures": self.worker_failures,
+            "worker_respawns": self.worker_respawns,
         }
 
     def __str__(self):

@@ -331,3 +331,35 @@ class TestValidationAndFallback:
             result = campaign.run(8, workers=2)
         assert result.corruptions == serial.corruptions
         assert campaign.parallel_info is None
+
+
+@needs_fork
+class TestChaos:
+    """The headline fault-tolerance invariant, asserted where the executor
+    lives: a campaign that loses a worker to SIGKILL mid-run finishes and
+    is bitwise-identical to ``workers=1``.  The full chaos suite (watchdog,
+    quarantine, respawn, journal resume) is ``tests/test_recovery.py``."""
+
+    def test_sigkilled_worker_campaign_is_bitwise_identical(
+            self, trained_tiny_model, tmp_path):
+        from .test_recovery import _kill_once_in_worker, _science_tallies
+
+        model, dataset, _ = trained_tiny_model
+        n = 48
+        base = _campaign(model, dataset)
+        base_trace = InjectionTrace()
+        base_result = base.run(n, trace=base_trace)
+
+        campaign = _campaign(model, dataset)
+        _kill_once_in_worker(campaign, tmp_path, os.getpid())
+        trace = InjectionTrace()
+        with pytest.warns(RuntimeWarning, match="died"):
+            result = campaign.run(n, workers=2, trace=trace)
+        assert result.corruptions == base_result.corruptions
+        assert np.array_equal(result.per_layer_injections,
+                              base_result.per_layer_injections)
+        assert np.array_equal(result.per_layer_corruptions,
+                              base_result.per_layer_corruptions)
+        assert trace.events == base_trace.events
+        assert _science_tallies(campaign) == _science_tallies(base)
+        assert campaign.perf.worker_failures == 1
