@@ -1,0 +1,56 @@
+"""Accumulated stuck-at sweep — the scenario engine's SDC-vs-K curve.
+
+Runs the ``scenario_sweep`` experiment (K resident stuck-at-1 faults in
+INT8-quantized resnet18 weights, swept over K) at the smoke tier, checks
+the curve artifact against the ``repro.scenario.sweep/1`` schema, asserts
+the artifact bytes are deterministic across a rerun (same seed, fresh
+compile), and leaves the record under ``results/``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import scenario_sweep
+from repro.scenario import SWEEP_SCHEMA
+
+from .conftest import run_once
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+SEED = 0
+
+
+def test_accumulated_sweep_artifact(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: scenario_sweep.run(scale="smoke", seed=SEED,
+                                   out_dir=RESULTS_DIR))
+
+    artifact_path = Path(results["artifact"])
+    assert artifact_path.parent == RESULTS_DIR
+    artifact = json.loads(artifact_path.read_text())
+
+    assert artifact["schema"] == SWEEP_SCHEMA
+    assert artifact["family"] == "accumulated"
+    assert artifact["quantize"] is True
+    assert artifact["seed"] == SEED
+
+    ks = [row["k"] for row in artifact["points"]]
+    assert ks == sorted(ks) and ks[0] == 0
+    for row in artifact["points"]:
+        assert set(row) >= {"k", "injections", "corruptions", "sdc_rate",
+                            "ci_low", "ci_high", "resident_faults",
+                            "resident_fingerprint"}
+        assert row["resident_faults"] == row["k"]
+        assert 0.0 <= row["sdc_rate"] <= 1.0
+
+    # The clean point (K=0) runs the unfaulted INT8 model: its SDC rate
+    # is a floor for the curve, and a K>0 point should sit at or above it.
+    clean = artifact["points"][0]["sdc_rate"]
+    assert max(row["sdc_rate"] for row in artifact["points"]) >= clean
+
+    # Deterministic bytes: a fresh compile+run with the same seed must
+    # reproduce the artifact exactly (no timestamps, no ordering drift).
+    first_bytes = artifact_path.read_bytes()
+    rerun = scenario_sweep.run(scale="smoke", seed=SEED, out_dir=RESULTS_DIR)
+    assert Path(rerun["artifact"]) == artifact_path
+    assert artifact_path.read_bytes() == first_bytes

@@ -10,6 +10,7 @@ Top-level layout
 ``repro.quant``     INT8 neuron quantization (Fig. 4 path)
 ``repro.core``      the paper's contribution: the fault-injection tool
 ``repro.campaign``  large-scale injection campaigns + statistics
+``repro.scenario``  declarative scenario engine (rate / persistent / sweeps)
 ``repro.observe``   fault-propagation tracing + campaign telemetry
 ``repro.detection`` box ops, NMS, detection-corruption metrics
 ``repro.robust``    IBP adversarial training, FI-in-training-loop

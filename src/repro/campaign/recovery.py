@@ -131,6 +131,7 @@ def plan_fingerprint(campaign, n_injections, plan):
     this digest so a resume against the wrong plan fails loudly.
     """
     pool_idx, layers, coords, seeds = plan
+    resident = getattr(campaign, "_resident_active", None)
     h = hashlib.sha256()
     h.update(json.dumps({
         "network": campaign.network_name,
@@ -141,6 +142,9 @@ def plan_fingerprint(campaign, n_injections, plan):
         "batch_size": int(campaign.fi.batch_size),
         "num_layers": int(campaign.fi.num_layers),
         "pool_size": int(len(campaign.pool_images)),
+        # Persistent faults change every outcome; a journal written under
+        # one resident set must not resume a run under another.
+        "resident": resident.fingerprint if resident is not None else None,
     }, sort_keys=True).encode())
     h.update(np.ascontiguousarray(np.asarray(pool_idx, dtype=np.int64)).tobytes())
     h.update(np.ascontiguousarray(np.asarray(layers, dtype=np.int64)).tobytes())

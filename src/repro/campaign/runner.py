@@ -123,7 +123,8 @@ class InjectionCampaign:
     def __init__(self, model, dataset, error_model=None, criterion="top1", batch_size=16,
                  input_shape=None, quantization=None, layer=None, pool_size=256,
                  network_name="model", rng=None, target="neuron", strategy="proportional",
-                 resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES, profiler=None):
+                 resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES, profiler=None,
+                 layers=None, channels=None):
         if target not in ("neuron", "weight"):
             raise ValueError(f"target must be 'neuron' or 'weight', got {target!r}")
         self.dataset = dataset
@@ -132,6 +133,13 @@ class InjectionCampaign:
         self.criterion_name = getattr(self.criterion, "name", str(criterion))
         self.quantization = quantization
         self.layer = layer
+        # Hierarchical site restriction (the repro.scenario selectors):
+        # ``layers`` limits sampling to a subset of instrumentable layer
+        # indices, ``channels`` to a subset of each layer's dim-0 axis.
+        # Both None means the legacy whole-network sampling with an
+        # identical RNG stream.
+        self.layers_subset = list(layers) if layers is not None else None
+        self.channels_subset = list(channels) if channels is not None else None
         self.network_name = network_name
         self.target = target
         self.strategy = strategy
@@ -151,6 +159,13 @@ class InjectionCampaign:
                 engine.profiler = self.profiler
                 self._resume = engine
         self.perf.resume_enabled = self._resume is not None
+        # Resident (persistent) weight faults — see repro.scenario.  The
+        # active set lives here for the duration of one run() so nested
+        # dispatches (parallel fallback) and the journal fingerprint see
+        # it; the fingerprint of the set the resume cache was captured
+        # under persists across runs to drive invalidation.
+        self._resident_active = None
+        self._resident_cache_key = None
         # Cache/capture work done by parallel workers (their private forked
         # engines) never advances this process's engine counters; the deltas
         # accumulate here so ``perf`` reports fleet totals either way.
@@ -212,10 +227,12 @@ class InjectionCampaign:
         pool_idx = self.rng.integers(0, len(self.pool_images), size=n)
         if self.target == "weight":
             layers, coords = random_weight_locations(
-                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy)
+                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy,
+                layers=self.layers_subset, channels=self.channels_subset)
         else:
             layers, coords = random_neuron_locations(
-                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy)
+                self.fi, n, layer=self.layer, rng=self.rng, strategy=self.strategy,
+                layers=self.layers_subset, channels=self.channels_subset)
         seeds = self.rng.integers(0, np.iinfo(np.int64).max, size=n)
         return pool_idx, layers, coords, seeds
 
@@ -442,8 +459,38 @@ class InjectionCampaign:
         if self.profiler.enabled:
             self.perf.publish(self.profiler.metrics)
 
+    # ------------------------------------------------------------------ #
+    # Resident (persistent) faults
+    # ------------------------------------------------------------------ #
+
+    def _begin_resident_session(self, resident):
+        """Apply a resident fault set for one run; invalidate stale caches.
+
+        The activation checkpoint cache holds *clean* layer outputs; those
+        are only valid for the weights they were captured under.  Whenever
+        the resident set differs from the one the cache was filled under
+        (including the transitions to and from "no residents"), the cache
+        is cleared and the resume engine re-captures lazily — under the
+        currently-resident weights — so replayed chunks stay bitwise
+        identical to full forwards of the faulted model.
+        """
+        key = resident.fingerprint if resident is not None else None
+        if key != self._resident_cache_key:
+            if self._resume is not None:
+                self._resume.cache.clear()
+            self._resident_cache_key = key
+        if resident is not None:
+            resident.apply(self.fi)
+        self._resident_active = resident
+
+    def _end_resident_session(self):
+        """Restore the resident set's weights (verified bitwise) and detach."""
+        resident, self._resident_active = self._resident_active, None
+        if resident is not None:
+            resident.restore()
+
     def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None,
-            workers=1, journal=None, recovery=None):
+            workers=1, journal=None, recovery=None, resident=None):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
@@ -486,6 +533,16 @@ class InjectionCampaign:
         :class:`~repro.campaign.recovery.RecoveryPolicy` (or kwargs dict)
         tuning chunk retry, worker respawn, the per-chunk watchdog, and
         graceful-shutdown draining.
+
+        ``resident=`` installs a persistent fault set (e.g. a
+        :class:`~repro.scenario.ResidentFaultSet` of stuck-at weight
+        faults) on the work model for the *whole* run: the faults survive
+        across every inference — pool evaluations, resume re-captures,
+        forked workers inherit them — and the original weights are
+        restored, verified bitwise, when the run ends.  The resume cache
+        is invalidated whenever the resident set changes between runs,
+        and the journal fingerprint pins the set so a journal written for
+        a different resident configuration is rejected.
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
@@ -493,12 +550,27 @@ class InjectionCampaign:
             workers = 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if workers > 1:
-            from .parallel import ParallelCampaignExecutor
+        # A nested dispatch (the parallel executor's serial fallback) runs
+        # inside the outer call's resident session; don't re-enter it.
+        nested = resident is None and self._resident_active is not None
+        if not nested:
+            self._begin_resident_session(resident)
+        try:
+            if workers > 1:
+                from .parallel import ParallelCampaignExecutor
 
-            return ParallelCampaignExecutor(self, workers, recovery=recovery).run(
-                n_injections, confidence=confidence, progress=progress,
-                trace=trace, observe=observe, journal=journal)
+                return ParallelCampaignExecutor(self, workers, recovery=recovery).run(
+                    n_injections, confidence=confidence, progress=progress,
+                    trace=trace, observe=observe, journal=journal)
+            return self._run_serial(n_injections, confidence, progress, trace,
+                                    observe, journal)
+        finally:
+            if not nested:
+                self._end_resident_session()
+
+    def _run_serial(self, n_injections, confidence, progress, trace, observe,
+                    journal):
+        """The single-process execution path of :meth:`run`."""
         progress = coerce_progress(progress, self)
         observer = None
         if observe is not None and observe is not False:

@@ -8,7 +8,12 @@ Commands
 ``profile <model>``        print a model's FaultInjection layer table
 ``profile --model <m>``    runtime-profile a forward (or ``--campaign N``) and
                            write Chrome-trace + summary artifacts
-``inject <model>``         one-shot random injection on a zoo model (``--json``)
+``inject <model>``         one-shot random injection on a zoo model (``--json``);
+                           ``--scenario FILE`` runs a declarative scenario
+                           against MODEL instead
+``scenario validate <f>``  check a declarative scenario file, print its plan
+``scenario run <f>``       execute a scenario (``--workers``, ``--journal``,
+                           ``--json``; sweep artifacts under ``--out-dir``)
 ``report <log.jsonl>``     render a campaign telemetry log as markdown/JSON
                            (``--profile`` merges a profile summary)
 """
@@ -296,6 +301,11 @@ def _cmd_inject(args):
     from . import models, tensor
     from .core import FaultInjection, SingleBitFlip, random_neuron_injection
 
+    if args.scenario is not None:
+        if args.campaign:
+            return _inject_fail(args, "--scenario and --campaign are exclusive")
+        return _run_scenario_command(args, args.scenario,
+                                     model_override=args.model)
     if args.workers is not None and args.workers > 1 and not args.campaign:
         return _inject_fail(args, "--workers requires --campaign N")
     if args.journal is not None and not args.campaign:
@@ -351,6 +361,100 @@ def _cmd_inject(args):
     print(f"max |logit delta|: {max_delta:.6f}")
     print("output corrupted:" , bool(clean.argmax() != perturbed.argmax()))
     return 0
+
+
+def _scenario_fail(args, message):
+    """Unresolvable scenario config: JSON under ``--json``, else stderr."""
+    if getattr(args, "json", False):
+        print(json.dumps({"ok": False, "error": message}, sort_keys=True))
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _cmd_scenario_validate(args):
+    from .scenario import ScenarioError, load_scenario
+
+    try:
+        config = load_scenario(args.file)
+    except ScenarioError as exc:
+        return _scenario_fail(args, str(exc))
+    if getattr(args, "json", False):
+        print(json.dumps({"ok": True, "scenario": config.name,
+                          "family": config.family,
+                          "model": config.model.name,
+                          "dataset": config.model.dataset,
+                          "seed": config.seed}, sort_keys=True))
+    else:
+        print(config.describe())
+        print("ok: scenario is valid")
+    return 0
+
+
+def _run_scenario_command(args, source, model_override=None):
+    """Shared core of ``scenario run`` and ``inject --scenario``.
+
+    Exit codes follow the campaign conventions: 0 clean, 2 unresolvable
+    config/model, 3 degraded (completed only via retries/requeues/
+    quarantine), 130 interrupted — with ``--journal`` the same command
+    resumes each point exactly where it stopped.
+    """
+    from .campaign import CampaignInterrupted
+    from .scenario import ScenarioError, compile_scenario, load_scenario, run_scenario
+
+    try:
+        config = load_scenario(source)
+        if model_override is not None:
+            config.model.name = model_override
+        compiled = compile_scenario(config)
+    except ScenarioError as exc:
+        return _scenario_fail(args, str(exc))
+    try:
+        result = run_scenario(
+            compiled, workers=args.workers, journal=args.journal,
+            observe=getattr(args, "observe", None),
+            progress=not args.json, out_dir=args.out_dir)
+    except CampaignInterrupted as exc:
+        partial = exc.partial
+        if args.json:
+            print(json.dumps({"ok": False, "interrupted": True, **partial},
+                             sort_keys=True))
+        else:
+            print(f"interrupted: {partial['completed_injections']}"
+                  f"/{partial['n_injections']} injections of the current "
+                  f"point completed", file=sys.stderr)
+            if partial.get("journal"):
+                print("resume by re-running the same scenario command with "
+                      "the same --journal", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        if args.json:
+            print(json.dumps({"ok": False, "interrupted": True}))
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        print(json.dumps({"ok": True, **result.as_dict()}, sort_keys=True))
+        return 3 if result.degraded else 0
+    print(f"scenario: {result.name} ({result.family}) on {result.model}"
+          f"/{result.dataset}, seed {result.seed}, workers {result.workers}")
+    for point in result.points:
+        interval = point.interval
+        ci = (f"  {point.confidence:.0%} CI [{interval[0]:.4f}, "
+              f"{interval[1]:.4f}]" if interval else "")
+        residents = (f"  residents {point.resident_faults}"
+                     if point.resident_faults else "")
+        print(f"  {point.label}: {point.corruptions}/{point.injections} "
+              f"SDC (rate {point.sdc_rate:.4f}){ci}{residents}")
+    if result.artifact:
+        print(f"wrote {result.artifact}")
+    if result.degraded:
+        print("degraded: some points completed only after retries/requeues")
+    return 3 if result.degraded else 0
+
+
+def _cmd_scenario_run(args):
+    return _run_scenario_command(args, args.file)
 
 
 def _cmd_report(args):
@@ -427,6 +531,13 @@ def build_parser():
                                 "chunks are fsync'd to PATH, and re-running "
                                 "the same command resumes exactly where an "
                                 "interrupted (even kill -9'd) run stopped")
+            p.add_argument("--scenario", default=None, metavar="FILE",
+                           help="run a declarative scenario file (see repro "
+                                "scenario) with its model replaced by the "
+                                "positional MODEL argument")
+            p.add_argument("--out-dir", default="results",
+                           help="directory for scenario sweep artifacts "
+                                "(with --scenario; default: results)")
         else:
             p.add_argument("--model", dest="model_flag", default=None, metavar="NAME",
                            help="runtime-profile this model and write Chrome-trace "
@@ -442,6 +553,38 @@ def build_parser():
                             "(requires --campaign; results are bitwise-identical "
                             "to --workers 1)")
         p.set_defaults(fn=fn)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="validate or run a declarative fault scenario")
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command",
+                                                  required=True)
+    validate_parser = scenario_sub.add_parser(
+        "validate", help="check a scenario file and print its plan")
+    validate_parser.add_argument("file", help="scenario YAML/JSON file")
+    validate_parser.add_argument("--json", action="store_true",
+                                 help="emit one machine-readable JSON object")
+    validate_parser.set_defaults(fn=_cmd_scenario_validate)
+    scen_run_parser = scenario_sub.add_parser(
+        "run", help="compile and execute a scenario (all sweep points)")
+    scen_run_parser.add_argument("file", help="scenario YAML/JSON file")
+    scen_run_parser.add_argument("--workers", type=int, default=1, metavar="K",
+                                 help="shard each sweep point across K forked "
+                                      "workers (bitwise-identical to serial)")
+    scen_run_parser.add_argument("--journal", default=None, metavar="PATH",
+                                 help="crash-consistent journal base path; "
+                                      "multi-point scenarios journal each "
+                                      "point to PATH.<idx>-<label>")
+    scen_run_parser.add_argument("--observe", default=None, metavar="LOG",
+                                 help="write per-injection telemetry JSONL "
+                                      "(per point, like --journal)")
+    scen_run_parser.add_argument("--out-dir", default="results",
+                                 help="directory for sweep artifacts "
+                                      "(default: results)")
+    scen_run_parser.add_argument("--json", action="store_true",
+                                 help="emit one machine-readable JSON object; "
+                                      "exit 0 clean / 2 unresolvable / "
+                                      "3 degraded / 130 interrupted")
+    scen_run_parser.set_defaults(fn=_cmd_scenario_run)
 
     report_parser = sub.add_parser(
         "report", help="render a campaign telemetry log (see repro.observe)")

@@ -8,6 +8,7 @@ from . import bitflip
 from .error_models import (
     ErrorModel,
     GaussianNoise,
+    Identity,
     InjectionContext,
     MultiBitFlip,
     QuantizationParams,
@@ -15,6 +16,7 @@ from .error_models import (
     ScaleValue,
     SingleBitFlip,
     StuckAt,
+    StuckAtBit,
     ZeroValue,
     as_error_model,
     make_context,
@@ -51,6 +53,7 @@ __all__ = [
     "FaultInjection",
     "FeatureMapSite",
     "GaussianNoise",
+    "Identity",
     "InjectionContext",
     "InjectionRecord",
     "LayerInfo",
@@ -61,6 +64,7 @@ __all__ = [
     "ScaleValue",
     "SingleBitFlip",
     "StuckAt",
+    "StuckAtBit",
     "WeightSite",
     "ZeroValue",
     "as_error_model",

@@ -59,6 +59,53 @@ def flip_bits(values, bit):
     return out
 
 
+def set_bits(values, bit):
+    """Force bit index ``bit`` to 1 in every element (stuck-at-1).
+
+    ``bit`` may be a scalar or an array broadcastable to ``values.shape``.
+    Returns a new array of the same dtype; the input is not modified.
+    Idempotent: applying twice equals applying once, which is what makes
+    stuck-at faults safe to re-assert on every inference of a scenario.
+    """
+    values = np.asarray(values)
+    out = values.copy()
+    bits, width = _bits_view(out)
+    bit_arr = np.asarray(bit)
+    if np.any(bit_arr < 0) or np.any(bit_arr >= width):
+        raise ValueError(f"bit index out of range for {width}-bit dtype: {bit}")
+    bits |= np.left_shift(np.ones_like(bits), bit_arr.astype(bits.dtype))
+    return out
+
+
+def clear_bits(values, bit):
+    """Force bit index ``bit`` to 0 in every element (stuck-at-0).
+
+    Same contract as :func:`set_bits`: scalar-or-array ``bit``, new array
+    out, input untouched, idempotent.
+    """
+    values = np.asarray(values)
+    out = values.copy()
+    bits, width = _bits_view(out)
+    bit_arr = np.asarray(bit)
+    if np.any(bit_arr < 0) or np.any(bit_arr >= width):
+        raise ValueError(f"bit index out of range for {width}-bit dtype: {bit}")
+    bits &= ~np.left_shift(np.ones_like(bits), bit_arr.astype(bits.dtype))
+    return out
+
+
+def stuck_at_bits(values, bit, stuck):
+    """Force bit index ``bit`` to the constant ``stuck`` (0 or 1).
+
+    The persistent-fault primitive of the scenario engine
+    (:mod:`repro.scenario`): unlike :func:`flip_bits`, the result does not
+    depend on the bit's previous state, so a stuck-at fault re-applied
+    across many inferences keeps describing the same broken bit-cell.
+    """
+    if stuck not in (0, 1):
+        raise ValueError(f"stuck must be 0 or 1, got {stuck!r}")
+    return set_bits(values, bit) if stuck else clear_bits(values, bit)
+
+
 def flip_random_bits(values, rng, exclude_sign=False):
     """Flip one independently-random bit per element.
 

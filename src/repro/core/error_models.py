@@ -158,6 +158,62 @@ class SingleBitFlip(ErrorModel):
         return f"SingleBitFlip(bit={self.bit}, exclude_sign={self.exclude_sign})"
 
 
+class Identity(ErrorModel):
+    """Leave the selected values unchanged.
+
+    The scenario engine's persistent-fault families use this as the
+    *transient* model: every planned "injection" then evaluates one pool
+    input under the resident weight faults alone, reusing the campaign
+    plan/journal/telemetry machinery without adding a transient upset.
+    """
+
+    name = "identity"
+
+    def __call__(self, original, ctx):
+        return original.copy()
+
+
+class StuckAtBit(ErrorModel):
+    """Force one bit per selected value to a constant (stuck-at-0/1).
+
+    With ``bit=None`` the bit index is drawn uniformly per value.  Like
+    :class:`SingleBitFlip`, a context carrying :class:`QuantizationParams`
+    moves the operation into the quantized integer domain (the SPINE-style
+    stuck-at model on INT8 weights); otherwise it acts on the value's own
+    bit pattern.  Unlike a flip, the result is independent of the bit's
+    prior state — re-applying the model describes the *same* broken
+    bit-cell, which is what lets persistent faults survive across
+    inferences.
+    """
+
+    name = "stuck_at_bit"
+
+    def __init__(self, bit=None, stuck=1):
+        if stuck not in (0, 1):
+            raise ValueError(f"stuck must be 0 or 1, got {stuck!r}")
+        self.bit = bit
+        self.stuck = int(stuck)
+
+    def _apply(self, values, ctx):
+        from ..tensor.dtypes import bit_width
+
+        if self.bit is None:
+            bit = ctx.rng.integers(0, bit_width(values.dtype), size=values.shape)
+        else:
+            bit = self.bit
+        return bitflip.stuck_at_bits(values, bit, self.stuck)
+
+    def __call__(self, original, ctx):
+        quant = ctx.quantization
+        if quant is not None:
+            q = quant.quantize(original)
+            return quant.dequantize(self._apply(q, ctx)).astype(original.dtype)
+        return self._apply(original, ctx)
+
+    def __repr__(self):
+        return f"StuckAtBit(bit={self.bit}, stuck={self.stuck})"
+
+
 class MultiBitFlip(ErrorModel):
     """Flip ``n_bits`` distinct random bits per selected value."""
 
@@ -239,6 +295,11 @@ def as_error_model(spec):
             "zero": ZeroValue,
             "zero_value": ZeroValue,
             "single_bit_flip": SingleBitFlip,
+            "identity": Identity,
+            "none": Identity,
+            "stuck_at_bit": StuckAtBit,
+            "stuck_at_0": lambda: StuckAtBit(stuck=0),
+            "stuck_at_1": lambda: StuckAtBit(stuck=1),
         }
         try:
             return registry[spec]()

@@ -29,14 +29,75 @@ def _quant_for_layer(quantization, layer_idx):
     return quantization
 
 
-def _batched_locations(gen, layer_pool, sizes, shapes, n, layer, strategy):
+def _restrict_pool(layer_pool, sizes, shapes, layers):
+    """Filter a sampler pool down to the ``layers`` subset (scenario selectors).
+
+    ``layers=None`` is the identity — the unrestricted pool object comes
+    back untouched, so legacy callers draw the exact same generator stream
+    they always did.  A subset covering every layer is likewise
+    stream-identical, because the pool order is preserved.
+    """
+    if layers is None:
+        return layer_pool, sizes, shapes
+    allowed = set(int(i) for i in layers)
+    unknown = allowed - set(layer_pool)
+    if unknown:
+        raise ValueError(
+            f"layers {sorted(unknown)} are not eligible for sampling "
+            f"(eligible: {list(layer_pool)})")
+    keep = [i for i, idx in enumerate(layer_pool) if idx in allowed]
+    if not keep:
+        raise ValueError("layer selector excludes every eligible layer")
+    return ([layer_pool[i] for i in keep],
+            [sizes[i] for i in keep],
+            [shapes[i] for i in keep])
+
+
+def _restrict_channels(sizes, shapes, channels):
+    """Restrict each pool entry's geometry to the ``channels`` subset of dim 0.
+
+    Returns ``(sizes, shapes, remap)`` where ``remap`` maps a sampled
+    dim-0 index back to the real channel index (identity when
+    ``channels=None``).  Sampling then stays a uniform draw over the
+    restricted element space, still through the same vectorised calls.
+    """
+    if channels is None:
+        return sizes, shapes, None
+    channels = [int(c) for c in channels]
+    if not channels:
+        raise ValueError("channel selector is empty")
+    if len(set(channels)) != len(channels):
+        raise ValueError(f"channel selector has duplicates: {channels}")
+    new_sizes, new_shapes = [], []
+    for shape in shapes:
+        if not shape:
+            raise ValueError("channel selector needs layers with >= 1 output axis")
+        bad = [c for c in channels if not 0 <= c < shape[0]]
+        if bad:
+            raise ValueError(
+                f"channels {bad} out of range [0, {shape[0]}) for shape {shape}")
+        new_shape = (len(channels),) + tuple(shape[1:])
+        new_shapes.append(new_shape)
+        new_sizes.append(int(np.prod(new_shape)))
+    return new_sizes, new_shapes, channels
+
+
+def _batched_locations(gen, layer_pool, sizes, shapes, n, layer, strategy,
+                       layers=None, channels=None):
     """Shared batched sampler over a pool of layers.
 
     ``layer_pool`` lists the eligible layer indices, ``sizes[i]`` the number
     of sampleable elements in pool entry ``i`` and ``shapes[i]`` its
     geometry.  Draws every random number through a handful of vectorised
     generator calls instead of a Python loop per site.
+
+    ``layers`` optionally restricts sampling to a subset of the pool and
+    ``channels`` to a subset of each layer's dim-0 (the scenario engine's
+    layer/channel selectors); both default to the unrestricted legacy
+    behaviour with an identical generator stream.
     """
+    layer_pool, sizes, shapes = _restrict_pool(layer_pool, sizes, shapes, layers)
+    sizes, shapes, channel_map = _restrict_channels(sizes, shapes, channels)
     sizes = np.asarray(sizes, dtype=np.int64)
     if layer is not None:
         pos = {idx: i for i, idx in enumerate(layer_pool)}
@@ -62,17 +123,25 @@ def _batched_locations(gen, layer_pool, sizes, shapes, n, layer, strategy):
         flat_idx = gen.integers(0, int(sizes[p]), size=len(slots))
         unravelled = np.unravel_index(flat_idx, shape)
         for j, slot in enumerate(slots):
-            coords[slot] = tuple(int(axis[j]) for axis in unravelled)
+            coord = tuple(int(axis[j]) for axis in unravelled)
+            if channel_map is not None:
+                coord = (channel_map[coord[0]],) + coord[1:]
+            coords[slot] = coord
     return layers, coords
 
 
-def random_neuron_locations(fi, n, layer=None, rng=None, strategy="proportional"):
+def random_neuron_locations(fi, n, layer=None, rng=None, strategy="proportional",
+                            layers=None, channels=None):
     """Sample ``n`` neuron sites at once; returns ``(layers, coords)``.
 
     ``layers`` is an int64 array of layer indices and ``coords`` a list of
     per-site coordinate tuples.  All randomness is drawn through batched
     generator calls (one for the layer choice, one per distinct layer for
     the coordinates), which is what makes large campaign plans cheap.
+
+    ``layers=`` restricts sampling to a subset of instrumentable layer
+    indices and ``channels=`` to a subset of each layer's channel (dim-0)
+    axis — the hierarchical selectors of :mod:`repro.scenario`.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
@@ -83,6 +152,7 @@ def random_neuron_locations(fi, n, layer=None, rng=None, strategy="proportional"
         sizes=[info.neurons_per_example for info in fi.layers],
         shapes=[info.neuron_shape for info in fi.layers],
         n=int(n), layer=layer, strategy=strategy,
+        layers=layers, channels=channels,
     )
 
 
@@ -97,8 +167,14 @@ def random_neuron_location(fi, layer=None, rng=None, strategy="proportional"):
     return int(layers[0]), coords[0]
 
 
-def random_weight_locations(fi, n, layer=None, rng=None, strategy="proportional"):
-    """Sample ``n`` weight sites at once; returns ``(layers, coords)``."""
+def random_weight_locations(fi, n, layer=None, rng=None, strategy="proportional",
+                            layers=None, channels=None):
+    """Sample ``n`` weight sites at once; returns ``(layers, coords)``.
+
+    Accepts the same ``layers=``/``channels=`` selector subsets as
+    :func:`random_neuron_locations` (for weights, "channel" is the output-
+    filter axis, dim 0 of the weight tensor).
+    """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     gen = _rng.coerce_generator(rng if rng is not None else fi.rng)
@@ -111,6 +187,7 @@ def random_weight_locations(fi, n, layer=None, rng=None, strategy="proportional"
         sizes=[info.weights for info in candidates],
         shapes=[info.weight_shape for info in candidates],
         n=int(n), layer=layer, strategy=strategy,
+        layers=layers, channels=channels,
     )
 
 

@@ -6,12 +6,13 @@ DESIGN.md §2 for the substitution rationale.
 
 from .detection import CLASS_NAMES, Scene, SyntheticDetection
 from .loader import DataLoader
-from .synthetic import SyntheticClassification, make_dataset
+from .synthetic import SelfLabelledDataset, SyntheticClassification, make_dataset
 
 __all__ = [
     "CLASS_NAMES",
     "DataLoader",
     "Scene",
+    "SelfLabelledDataset",
     "SyntheticClassification",
     "SyntheticDetection",
     "make_dataset",

@@ -128,6 +128,33 @@ class SyntheticClassification:
         )
 
 
+class SelfLabelledDataset:
+    """Synthetic inputs labelled with a model's own clean predictions.
+
+    Campaigns need an input pool the clean model classifies correctly;
+    self-labelling makes that 100% of samples by construction, which is
+    what lets untrained zoo models (the CLI and scenario-engine default)
+    be campaigned without a training phase.  Wraps any dataset exposing
+    ``sample``/``input_shape``.
+    """
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        from ..tensor import Tensor, no_grad
+
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
 def make_dataset(dataset, seed=0, noise=None, class_similarity=None):
     """Build the synthetic stand-in for one of the paper's datasets.
 

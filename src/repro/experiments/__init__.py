@@ -23,6 +23,7 @@ from . import (
     fig5_detection,
     fig6_ibp,
     fig7_gradcam,
+    scenario_sweep,
     table1_training,
 )
 
@@ -36,6 +37,7 @@ ALL_EXPERIMENTS = {
     "fig5": fig5_detection,
     "fig6": fig6_ibp,
     "fig7": fig7_gradcam,
+    "scenario_sweep": scenario_sweep,
     "table1": table1_training,
 }
 

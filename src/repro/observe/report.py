@@ -13,9 +13,22 @@ from __future__ import annotations
 
 import json
 
+from ..campaign.stats import wilson_interval
 from .events import OUTCOME_DETECTED, OUTCOME_MASKED, OUTCOME_MISCLASSIFIED, OUTCOMES
 
 REPORT_SCHEMA_VERSION = 1
+
+# Confidence level of the report's interval columns (the paper reports 99%
+# bars); telemetry events carry raw tallies, so the interval is computed
+# here at aggregation time.
+REPORT_CONFIDENCE = 0.99
+
+
+def _interval_fields(corruptions, injections):
+    if injections <= 0:
+        return {"ci_low": None, "ci_high": None}
+    low, high = wilson_interval(corruptions, injections, REPORT_CONFIDENCE)
+    return {"ci_low": low, "ci_high": high}
 
 
 def _new_layer(layer):
@@ -94,6 +107,7 @@ def aggregate(events):
         profile = layers[layer]
         n = profile["injections"]
         profile["corruption_rate"] = profile["corruptions"] / n if n else 0.0
+        profile.update(_interval_fields(profile["corruptions"], n))
         profile["mean_divergence_depth"] = profile.pop("_sum_depth") / n if n else 0.0
         n_l2 = profile.pop("_n_l2_at_target")
         total_l2 = profile.pop("_sum_l2_at_target")
@@ -101,6 +115,8 @@ def aggregate(events):
         profiles.append(profile)
     n = summary["injections"]
     summary["corruption_rate"] = summary["corruptions"] / n if n else 0.0
+    summary["confidence"] = REPORT_CONFIDENCE
+    summary.update(_interval_fields(summary["corruptions"], n))
     return {"schema": REPORT_SCHEMA_VERSION, "summary": summary, "layers": profiles}
 
 
@@ -140,7 +156,10 @@ def render_markdown(report, timing=None, profile=None):
         f"- campaigns: {summary['campaigns']}",
         f"- injections: {summary['injections']} "
         f"({summary['corruptions']} corrupted, "
-        f"rate {summary['corruption_rate']:.4f})",
+        f"rate {summary['corruption_rate']:.4f}"
+        + (f", {summary.get('confidence', REPORT_CONFIDENCE):.0%} CI "
+           f"[{summary['ci_low']:.4f}, {summary['ci_high']:.4f}]"
+           if summary.get("ci_low") is not None else "") + ")",
         f"- outcomes: {summary['outcomes'][OUTCOME_MASKED]} masked / "
         f"{summary['outcomes'][OUTCOME_MISCLASSIFIED]} misclassified / "
         f"{summary['outcomes'][OUTCOME_DETECTED]} NaN-or-Inf",
@@ -148,15 +167,21 @@ def render_markdown(report, timing=None, profile=None):
         "",
         "## Per-layer vulnerability",
         "",
-        "| layer | injections | corruptions | rate | masked | misclassified "
-        "| nan/inf | masked in net | mean depth | mean L2@target |",
-        "|---|---|---|---|---|---|---|---|---|---|",
+        "| layer | injections | corruptions | rate | 99% CI | masked "
+        "| misclassified | nan/inf | masked in net | mean depth "
+        "| mean L2@target |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for layer_row in report["layers"]:
         outcomes = layer_row["outcomes"]
+        if layer_row.get("ci_low") is not None:
+            ci = f"[{layer_row['ci_low']:.4f}, {layer_row['ci_high']:.4f}]"
+        else:
+            ci = "n/a"
         lines.append(
             f"| {layer_row['layer']} | {layer_row['injections']} | "
             f"{layer_row['corruptions']} | {layer_row['corruption_rate']:.4f} | "
+            f"{ci} | "
             f"{outcomes[OUTCOME_MASKED]} | {outcomes[OUTCOME_MISCLASSIFIED]} | "
             f"{outcomes[OUTCOME_DETECTED]} | {layer_row['masked_in_network']} | "
             f"{layer_row['mean_divergence_depth']:.2f} | "

@@ -1,7 +1,13 @@
 """INT8 activation quantization (the Fig. 4 substrate)."""
 
 from ..core.error_models import QuantizationParams
-from .int8 import ActivationObserver, QuantizedExecution, calibrate, quantize_dequantize
+from .int8 import (
+    ActivationObserver,
+    QuantizedExecution,
+    calibrate,
+    quantize_dequantize,
+    weight_params,
+)
 
 __all__ = [
     "ActivationObserver",
@@ -9,4 +15,5 @@ __all__ = [
     "QuantizedExecution",
     "calibrate",
     "quantize_dequantize",
+    "weight_params",
 ]

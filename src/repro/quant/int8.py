@@ -78,6 +78,26 @@ def calibrate(fi, images, bits=8):
     return ActivationObserver(fi).observe(images).params(bits=bits)
 
 
+def weight_params(fi, bits=8):
+    """Per-layer symmetric :class:`QuantizationParams` over the *weights*.
+
+    The weight-memory analogue of :func:`calibrate`: max-abs per layer,
+    needing no calibration data (weights are static).  Layers without
+    weights get a placeholder unit-peak scale — they have no weight sites,
+    so the params are never consulted.  Used by the scenario engine's
+    persistent/accumulated families to place stuck-at faults in the INT8
+    weight domain.
+    """
+    qmax = 2 ** (bits - 1) - 1
+    out = []
+    for _, module in fi._iter_instrumentable(fi.model):
+        weight = getattr(module, "weight", None)
+        peak = float(np.abs(weight.data).max()) if weight is not None else 0.0
+        scale = (peak / qmax) if peak > 0 else 1.0 / qmax
+        out.append(QuantizationParams(scale=float(scale), bits=bits))
+    return out
+
+
 def quantize_dequantize(values, params):
     """Round-trip an array through the integer domain of ``params``."""
     return params.dequantize(params.quantize(values))

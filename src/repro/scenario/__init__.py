@@ -1,0 +1,53 @@
+"""repro.scenario — declarative multi-resolution fault scenarios.
+
+A scenario is a YAML/JSON/dict config describing a whole study: the model,
+a fault *family* (``transient``, ``rate``, ``persistent``,
+``accumulated``), hierarchical site selectors (layers → channels →
+elements → bit), and the error model.  The pipeline is::
+
+    config = load_scenario("scenario.yaml")   # validate (ScenarioError)
+    compiled = compile_scenario(config)        # campaign + sweep points
+    result = run_scenario(compiled, workers=4) # execute; curve artifacts
+
+Everything rides on the upfront-planned :class:`repro.campaign`
+machinery, so scenarios inherit its guarantees: bitwise-deterministic
+under a seed (serial == parallel == resumed), crash-consistent journals,
+and telemetry.  See DESIGN.md §12.
+"""
+
+from .compile import CompiledScenario, SweepPoint, compile_scenario, resolve_layers
+from .config import (
+    FAMILIES,
+    ScenarioConfig,
+    ScenarioError,
+    SelectorConfig,
+    load_scenario,
+)
+from .engine import (
+    SWEEP_SCHEMA,
+    PointResult,
+    ScenarioResult,
+    run_scenario,
+    write_sweep_artifact,
+)
+from .resident import ResidentFaultSet, ResidentWeightFault, sample_resident_faults
+
+__all__ = [
+    "FAMILIES",
+    "SWEEP_SCHEMA",
+    "CompiledScenario",
+    "PointResult",
+    "ResidentFaultSet",
+    "ResidentWeightFault",
+    "ScenarioConfig",
+    "ScenarioError",
+    "ScenarioResult",
+    "SelectorConfig",
+    "SweepPoint",
+    "compile_scenario",
+    "load_scenario",
+    "resolve_layers",
+    "run_scenario",
+    "sample_resident_faults",
+    "write_sweep_artifact",
+]

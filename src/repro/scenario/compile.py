@@ -1,0 +1,266 @@
+"""Compile a validated scenario config into an executable plan.
+
+:func:`compile_scenario` builds the model, dataset, and
+:class:`~repro.campaign.InjectionCampaign` exactly the way the legacy
+``repro inject --campaign`` path does — same seed recipe
+(``manual_seed(seed)``, model RNG ``spawn(1)``, dataset ``seed + 1``,
+campaign generator ``seed``) — which is what makes a default-selector
+``transient`` scenario *bitwise-identical* to the hand-built campaign:
+same outcomes, same per-layer tallies, same generator stream.
+
+On top of that base it resolves the hierarchical selectors into concrete
+layer/channel subsets, derives the injection count for rate-driven
+scenarios (a Binomial draw over the selected bit-cells, deterministic
+under the scenario seed), and samples resident stuck-at fault sets for
+the persistent and accumulated families.  The output is a list of
+:class:`SweepPoint` — each one campaign run, optionally under a resident
+fault set — that :func:`repro.scenario.engine.run_scenario` executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+import numpy as np
+
+from .config import ScenarioError, load_scenario
+from .resident import sample_resident_faults
+
+# Domain-separation constants for the derived generators, so the rate draw
+# and each sweep point's resident sampling use streams independent of the
+# campaign's own (and of each other).
+_RATE_STREAM = 0xFA17
+_RESIDENT_STREAM = 0x5E51
+
+
+@dataclass
+class SweepPoint:
+    """One campaign run within a scenario (optionally under residents)."""
+
+    label: str
+    n_injections: int
+    resident: object = None
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class CompiledScenario:
+    """An executable scenario: the campaign plus its sweep points."""
+
+    config: object
+    campaign: object
+    points: list
+    layers: list  # resolved layer-index subset (None = unrestricted)
+    channels: list
+    quantization: object  # params handed to resident sets (None = float32)
+
+    @property
+    def total_injections(self):
+        return sum(point.n_injections for point in self.points)
+
+
+def resolve_layers(fi, select):
+    """Resolve the selector's layer constraints to explicit indices.
+
+    Returns ``None`` for the unrestricted default (which keeps the legacy
+    sampler stream byte-for-byte) or a sorted list of eligible layer
+    indices.  Raises :class:`ScenarioError` naming the selector key that
+    emptied the set.
+    """
+    eligible = [info for info in fi.layers
+                if select.target == "neuron" or info.weight_shape]
+    if select.layers is not None:
+        known = {info.index for info in eligible}
+        bad = [i for i in select.layers if i not in known]
+        if bad:
+            raise ScenarioError(
+                f"select.layers: {bad} not eligible for target "
+                f"{select.target!r}; eligible indices: {sorted(known)}")
+        eligible = [info for info in eligible if info.index in set(select.layers)]
+    if select.types is not None:
+        eligible = [info for info in eligible if info.module_type in select.types]
+        if not eligible:
+            raise ScenarioError(
+                f"select.types: {select.types} match no instrumentable layer")
+
+    def matches(info, patterns):
+        return any(fnmatchcase(info.name, pat) or pat == str(info.index)
+                   for pat in patterns)
+
+    eligible = [info for info in eligible if matches(info, select.include)]
+    if not eligible:
+        raise ScenarioError(
+            f"select.include: {select.include} match no eligible layer")
+    eligible = [info for info in eligible if not matches(info, select.exclude)]
+    if not eligible:
+        raise ScenarioError(
+            f"select.exclude: {select.exclude} exclude every selected layer")
+    if select.is_default:
+        return None
+    return [info.index for info in eligible]
+
+
+def _validate_channels(fi, select, layers):
+    """Config-time validation of the channel subset against layer shapes."""
+    if select.channels is None:
+        return None
+    indices = layers if layers is not None else [
+        info.index for info in fi.layers
+        if select.target == "neuron" or info.weight_shape]
+    for index in indices:
+        info = fi.layer(index)
+        shape = (info.neuron_shape if select.target == "neuron"
+                 else info.weight_shape)
+        bad = [c for c in select.channels if not 0 <= c < shape[0]]
+        if bad:
+            raise ScenarioError(
+                f"select.channels: {bad} out of range [0, {shape[0]}) for "
+                f"layer {index} ({info.name}); restrict select.layers or "
+                f"drop the channel")
+    return list(select.channels)
+
+
+def _eligible_cells(fi, select, layers, channels):
+    """Number of selectable elements (neurons or weights) under the selector."""
+    infos = [info for info in fi.layers
+             if select.target == "neuron" or info.weight_shape]
+    if layers is not None:
+        keep = set(layers)
+        infos = [info for info in infos if info.index in keep]
+    total = 0
+    for info in infos:
+        shape = (info.neuron_shape if select.target == "neuron"
+                 else info.weight_shape)
+        if channels is not None:
+            shape = (len(channels),) + tuple(shape[1:])
+        total += int(np.prod(shape))
+    return total
+
+
+def _transient_error_model(config):
+    """The per-injection (transient) error model for the campaign."""
+    from ..core import Identity, SingleBitFlip, as_error_model
+
+    fault = config.fault
+    if fault.error_model is None:
+        if config.family in ("transient", "rate"):
+            return SingleBitFlip(bit=fault.bit)
+        # Persistent families default to no transient on top: each planned
+        # "injection" evaluates one pool input under the residents alone.
+        return Identity()
+    model = as_error_model(fault.error_model)
+    if fault.bit is not None and hasattr(model, "bit"):
+        model.bit = fault.bit
+    return model
+
+
+def compile_scenario(source):
+    """Load (if needed) and compile a scenario; returns :class:`CompiledScenario`.
+
+    Raises :class:`ScenarioError` for anything unresolvable — unknown
+    model/dataset, selectors that match nothing, channel indices out of
+    range — with a message naming the config key at fault.
+    """
+    from .. import models, tensor
+    from ..campaign import InjectionCampaign
+    from ..data import SelfLabelledDataset, SyntheticClassification
+
+    config = source if hasattr(source, "family") else load_scenario(source)
+    tensor.manual_seed(config.seed)
+    try:
+        net = models.get_model(config.model.name, config.model.dataset,
+                               scale=config.model.scale, rng=tensor.spawn(1))
+        classes, size = models.dataset_preset(config.model.dataset)
+    except ValueError as exc:
+        raise ScenarioError(f"model: {exc}") from None
+    net.eval()
+    dataset = SelfLabelledDataset(
+        net, SyntheticClassification(num_classes=classes, image_size=size,
+                                     seed=config.seed + 1))
+    try:
+        campaign = InjectionCampaign(
+            net, dataset,
+            error_model=_transient_error_model(config),
+            criterion=config.campaign.criterion,
+            batch_size=config.campaign.batch_size,
+            pool_size=config.campaign.pool_size,
+            rng=config.seed,
+            network_name=config.model.name,
+            target=config.select.target,
+            strategy=config.select.strategy,
+        )
+    except ValueError as exc:
+        raise ScenarioError(f"campaign: {exc}") from None
+    # Selector resolution needs the profiled engine, so it happens after
+    # construction; the subsets only steer future _plan() draws.
+    layers = resolve_layers(campaign.fi, config.select)
+    channels = _validate_channels(campaign.fi, config.select, layers)
+    campaign.layers_subset = layers
+    campaign.channels_subset = channels
+
+    quantization = None
+    if config.fault.quantize:
+        from ..quant import calibrate, weight_params
+
+        if config.select.target == "neuron":
+            # INT8 activations (the Fig. 4 substrate): calibrate on the
+            # screened pool so the scale derivation is deterministic.
+            campaign.quantization = calibrate(campaign.fi, campaign.pool_images)
+        else:
+            # Weight-domain INT8: both transient flips and resident
+            # stuck-at faults operate on the quantized weight pattern.
+            quantization = weight_params(campaign.fi)
+            campaign.quantization = quantization
+
+    points = _compile_points(config, campaign, layers, channels, quantization)
+    return CompiledScenario(config=config, campaign=campaign, points=points,
+                            layers=layers, channels=channels,
+                            quantization=quantization)
+
+
+def _compile_points(config, campaign, layers, channels, quantization):
+    fam = config.family_config
+    if config.family == "transient":
+        return [SweepPoint(label="transient", n_injections=fam.injections)]
+    if config.family == "rate":
+        bits = 8 if config.fault.quantize else 32
+        cells = _eligible_cells(campaign.fi, config.select, layers, channels)
+        trials = cells * bits * fam.exposures
+        expected = trials * fam.ber
+        rng = np.random.default_rng((config.seed, _RATE_STREAM))
+        realized = int(rng.binomial(trials, fam.ber))
+        if fam.max_injections is not None:
+            realized = min(realized, fam.max_injections)
+        return [SweepPoint(
+            label="rate", n_injections=realized,
+            meta={"ber": fam.ber, "bit_cells": trials,
+                  "expected_injections": expected})]
+    if config.family == "persistent":
+        resident = _sample_point_residents(config, campaign, fam.faults,
+                                           layers, channels, quantization,
+                                           stream_index=0)
+        return [SweepPoint(label=f"persistent-k{fam.faults}",
+                           n_injections=fam.evaluations, resident=resident,
+                           meta={"k": fam.faults, "stuck": fam.stuck})]
+    points = []
+    for k in fam.counts:
+        resident = _sample_point_residents(config, campaign, k, layers,
+                                           channels, quantization,
+                                           stream_index=k)
+        points.append(SweepPoint(label=f"k{k}", n_injections=fam.evaluations,
+                                 resident=resident,
+                                 meta={"k": k, "stuck": fam.stuck}))
+    return points
+
+
+def _sample_point_residents(config, campaign, k, layers, channels,
+                            quantization, stream_index):
+    fam = config.family_config
+    rng = np.random.default_rng((config.seed, _RESIDENT_STREAM, stream_index))
+    try:
+        return sample_resident_faults(
+            campaign.fi, k, rng, bit=fam.bit, stuck=fam.stuck, layers=layers,
+            channels=channels, quantization=quantization)
+    except ValueError as exc:
+        raise ScenarioError(f"{config.family}: {exc}") from None

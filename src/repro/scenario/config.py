@@ -1,0 +1,405 @@
+"""Declarative scenario configs: schema, loader, and validation.
+
+A *scenario* is a YAML/JSON/dict description of a fault-injection study —
+what model, which fault family, where faults may land (hierarchical
+selectors: model → layers → channels → neuron/weight elements → bit), and
+the family-specific knobs.  :func:`load_scenario` turns a file or mapping
+into a validated :class:`ScenarioConfig`; every rejection raises
+:class:`ScenarioError` whose message names the exact dotted path of the
+offending key (``select.channels[1]: expected int >= 0, got -3``) so a
+config is debuggable from the CLI (``repro scenario validate``) without
+reading this module.
+
+The four families:
+
+``transient``
+    The classic campaign: N independent single-site upsets, one per
+    planned injection (exactly the legacy ``campaign.run`` study — a
+    default-selector transient scenario is bitwise-identical to it).
+``rate``
+    Rate-driven: a bit-error-rate per storage cell and an exposure count
+    determine the *expected* number of upsets; the realized count is a
+    Binomial draw (deterministic under the scenario seed) and the sites
+    follow the same vectorised samplers.
+``persistent``
+    K stuck-at weight faults resident for the whole scenario: every
+    evaluation runs under the same broken cells, and the weights are
+    restored (verified bitwise) afterwards.
+``accumulated``
+    A sweep over fault counts: for each K in ``counts``, K resident
+    stuck-at faults are sampled and the pool is evaluated under them —
+    the SDC-vs-fault-count curve.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # PyYAML is present in the reference environment but never required.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - exercised only without PyYAML
+    _yaml = None
+
+FAMILIES = ("transient", "rate", "persistent", "accumulated")
+
+_TOP_KEYS = {"name", "seed", "family", "model", "campaign", "select", "fault",
+             "transient", "rate", "persistent", "accumulated"}
+
+
+class ScenarioError(ValueError):
+    """A scenario config that cannot be resolved; message names the path."""
+
+
+def _fail(path, message):
+    prefix = f"{path}: " if path else ""
+    raise ScenarioError(f"{prefix}{message}")
+
+
+def _expect_mapping(value, path):
+    if not isinstance(value, dict):
+        _fail(path, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _unknown_keys(mapping, allowed, path):
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        _fail(path, f"unknown key(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _get(mapping, key, path, kind, default=None, required=False, choices=None,
+         minimum=None):
+    if key not in mapping:
+        if required:
+            _fail(path, f"missing required key {key!r}")
+        return default
+    value = mapping[key]
+    dotted = f"{path}.{key}" if path else key
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if kind is not None and (not isinstance(value, kind) or isinstance(value, bool)
+                             and kind is not bool):
+        _fail(dotted, f"expected {getattr(kind, '__name__', kind)}, "
+                      f"got {value!r}")
+    if choices is not None and value not in choices:
+        _fail(dotted, f"expected one of {sorted(choices)}, got {value!r}")
+    if minimum is not None and value < minimum:
+        _fail(dotted, f"expected value >= {minimum}, got {value!r}")
+    return value
+
+
+def _int_list(mapping, key, path, minimum=0, required=False, nonempty=True):
+    if key not in mapping:
+        if required:
+            _fail(path, f"missing required key {key!r}")
+        return None
+    dotted = f"{path}.{key}" if path else key
+    value = mapping[key]
+    if not isinstance(value, (list, tuple)):
+        _fail(dotted, f"expected a list of ints, got {value!r}")
+    if nonempty and not value:
+        _fail(dotted, "expected a non-empty list")
+    out = []
+    for i, item in enumerate(value):
+        if not isinstance(item, int) or isinstance(item, bool) or item < minimum:
+            _fail(f"{dotted}[{i}]", f"expected int >= {minimum}, got {item!r}")
+        out.append(int(item))
+    return out
+
+
+def _str_list(mapping, key, path, default=None):
+    if key not in mapping:
+        return default
+    dotted = f"{path}.{key}" if path else key
+    value = mapping[key]
+    if not isinstance(value, (list, tuple)):
+        _fail(dotted, f"expected a list of strings, got {value!r}")
+    for i, item in enumerate(value):
+        if not isinstance(item, str):
+            _fail(f"{dotted}[{i}]", f"expected string, got {item!r}")
+    return list(value)
+
+
+@dataclass
+class ModelConfig:
+    name: str
+    dataset: str = "cifar10"
+    scale: str = "small"
+
+
+@dataclass
+class CampaignConfig:
+    batch_size: int = 16
+    pool_size: int = 64
+    criterion: str = "top1"
+    confidence: float = 0.99
+
+
+@dataclass
+class SelectorConfig:
+    """Hierarchical site selection: model -> layers -> channels -> element."""
+
+    target: str = "neuron"
+    include: list = field(default_factory=lambda: ["*"])
+    exclude: list = field(default_factory=list)
+    types: list = None
+    layers: list = None  # explicit instrumentable-layer indices
+    channels: list = None  # dim-0 subset within each selected layer
+    strategy: str = "proportional"
+
+    @property
+    def is_default(self):
+        """True when the selector imposes no restriction at all."""
+        return (self.include == ["*"] and not self.exclude and self.types is None
+                and self.layers is None and self.channels is None)
+
+
+@dataclass
+class FaultConfig:
+    error_model: str = None  # None -> family default
+    bit: int = None
+    quantize: bool = False
+
+
+@dataclass
+class TransientConfig:
+    injections: int = 100
+
+
+@dataclass
+class RateConfig:
+    ber: float = 1e-9
+    exposures: int = 1
+    max_injections: int = None
+
+
+@dataclass
+class PersistentConfig:
+    faults: int = 1
+    stuck: int = 1
+    bit: int = None
+    evaluations: int = 64
+
+
+@dataclass
+class AccumulatedConfig:
+    counts: list = field(default_factory=lambda: [1, 2, 4])
+    stuck: int = 1
+    bit: int = None
+    evaluations: int = 64
+
+
+@dataclass
+class ScenarioConfig:
+    """A fully validated scenario description."""
+
+    name: str
+    family: str
+    seed: int
+    model: ModelConfig
+    campaign: CampaignConfig
+    select: SelectorConfig
+    fault: FaultConfig
+    transient: TransientConfig = None
+    rate: RateConfig = None
+    persistent: PersistentConfig = None
+    accumulated: AccumulatedConfig = None
+
+    @property
+    def family_config(self):
+        return getattr(self, self.family)
+
+    def describe(self):
+        """A stable printable summary (the ``scenario validate`` output)."""
+        lines = [
+            f"scenario: {self.name}",
+            f"family:   {self.family}",
+            f"model:    {self.model.name} ({self.model.dataset}, "
+            f"scale={self.model.scale})",
+            f"seed:     {self.seed}",
+            f"select:   target={self.select.target} include={self.select.include} "
+            f"exclude={self.select.exclude} types={self.select.types} "
+            f"layers={self.select.layers} channels={self.select.channels}",
+            f"fault:    error_model={self.fault.error_model or '(family default)'} "
+            f"bit={self.fault.bit} quantize={self.fault.quantize}",
+        ]
+        fam = self.family_config
+        if self.family == "transient":
+            lines.append(f"plan:     {fam.injections} transient injections")
+        elif self.family == "rate":
+            lines.append(f"plan:     BER {fam.ber:g} x {fam.exposures} exposure(s)"
+                         f" over the selected cells")
+        elif self.family == "persistent":
+            lines.append(f"plan:     {fam.faults} resident stuck-at-{fam.stuck} "
+                         f"weight fault(s), {fam.evaluations} evaluations")
+        else:
+            lines.append(f"plan:     accumulated sweep K={fam.counts}, "
+                         f"stuck-at-{fam.stuck}, {fam.evaluations} evaluations "
+                         f"per point")
+        return "\n".join(lines)
+
+
+def _parse_model(raw, path):
+    raw = _expect_mapping(raw, path)
+    _unknown_keys(raw, {"name", "dataset", "scale"}, path)
+    return ModelConfig(
+        name=_get(raw, "name", path, str, required=True),
+        dataset=_get(raw, "dataset", path, str, default="cifar10"),
+        scale=_get(raw, "scale", path, str, default="small",
+                   choices=("smoke", "small", "paper")),
+    )
+
+
+def _parse_campaign(raw, path):
+    raw = _expect_mapping(raw, path)
+    _unknown_keys(raw, {"batch_size", "pool_size", "criterion", "confidence"}, path)
+    return CampaignConfig(
+        batch_size=_get(raw, "batch_size", path, int, default=16, minimum=1),
+        pool_size=_get(raw, "pool_size", path, int, default=64, minimum=1),
+        criterion=_get(raw, "criterion", path, str, default="top1"),
+        confidence=_get(raw, "confidence", path, float, default=0.99,
+                        choices=(0.90, 0.95, 0.99)),
+    )
+
+
+def _parse_select(raw, path):
+    raw = _expect_mapping(raw, path)
+    _unknown_keys(raw, {"target", "include", "exclude", "types", "layers",
+                        "channels", "strategy"}, path)
+    return SelectorConfig(
+        target=_get(raw, "target", path, str, default="neuron",
+                    choices=("neuron", "weight")),
+        include=_str_list(raw, "include", path, default=["*"]),
+        exclude=_str_list(raw, "exclude", path, default=[]),
+        types=_str_list(raw, "types", path),
+        layers=_int_list(raw, "layers", path),
+        channels=_int_list(raw, "channels", path),
+        strategy=_get(raw, "strategy", path, str, default="proportional",
+                      choices=("proportional", "uniform_layer")),
+    )
+
+
+def _parse_fault(raw, path):
+    raw = _expect_mapping(raw, path)
+    _unknown_keys(raw, {"error_model", "bit", "quantize"}, path)
+    return FaultConfig(
+        error_model=_get(raw, "error_model", path, str),
+        bit=_get(raw, "bit", path, int, minimum=0),
+        quantize=_get(raw, "quantize", path, bool, default=False),
+    )
+
+
+def _parse_family_section(family, raw, path):
+    raw = _expect_mapping(raw, path)
+    if family == "transient":
+        _unknown_keys(raw, {"injections"}, path)
+        return TransientConfig(
+            injections=_get(raw, "injections", path, int, required=True, minimum=1))
+    if family == "rate":
+        _unknown_keys(raw, {"ber", "exposures", "max_injections"}, path)
+        ber = _get(raw, "ber", path, float, required=True)
+        if not 0.0 <= ber <= 1.0:
+            _fail(f"{path}.ber", f"expected a probability in [0, 1], got {ber!r}")
+        return RateConfig(
+            ber=ber,
+            exposures=_get(raw, "exposures", path, int, default=1, minimum=1),
+            max_injections=_get(raw, "max_injections", path, int, minimum=1),
+        )
+    if family == "persistent":
+        _unknown_keys(raw, {"faults", "stuck", "bit", "evaluations"}, path)
+        return PersistentConfig(
+            faults=_get(raw, "faults", path, int, required=True, minimum=1),
+            stuck=_get(raw, "stuck", path, int, default=1, choices=(0, 1)),
+            bit=_get(raw, "bit", path, int, minimum=0),
+            evaluations=_get(raw, "evaluations", path, int, default=64, minimum=1),
+        )
+    _unknown_keys(raw, {"counts", "stuck", "bit", "evaluations"}, path)
+    counts = _int_list(raw, "counts", path, minimum=0, required=True)
+    return AccumulatedConfig(
+        counts=counts,
+        stuck=_get(raw, "stuck", path, int, default=1, choices=(0, 1)),
+        bit=_get(raw, "bit", path, int, minimum=0),
+        evaluations=_get(raw, "evaluations", path, int, default=64, minimum=1),
+    )
+
+
+def validate(raw, source="scenario"):
+    """Validate a raw mapping into a :class:`ScenarioConfig`."""
+    raw = _expect_mapping(raw, "")
+    _unknown_keys(raw, _TOP_KEYS, "")
+    family = _get(raw, "family", "", str, required=True, choices=FAMILIES)
+    if family not in raw:
+        _fail("", f"family {family!r} requires a {family!r} section")
+    for other in FAMILIES:
+        if other != family and other in raw:
+            _fail(other, f"section conflicts with family {family!r}")
+    config = ScenarioConfig(
+        name=_get(raw, "name", "", str, default=str(source)),
+        family=family,
+        seed=_get(raw, "seed", "", int, default=0, minimum=0),
+        model=_parse_model(_get(raw, "model", "", dict, required=True), "model"),
+        campaign=_parse_campaign(raw.get("campaign", {}), "campaign"),
+        select=_parse_select(raw.get("select", {}), "select"),
+        fault=_parse_fault(raw.get("fault", {}), "fault"),
+    )
+    setattr(config, family, _parse_family_section(family, raw[family], family))
+    if family in ("persistent", "accumulated") and config.select.target != "weight":
+        if "target" in raw.get("select", {}):
+            _fail("select.target",
+                  f"family {family!r} installs resident *weight* faults; "
+                  f"set target: weight (or omit it)")
+        config.select.target = "weight"
+    return config
+
+
+def load_scenario(source):
+    """Load and validate a scenario from a path, mapping, or YAML/JSON text.
+
+    ``source`` may be a dict (validated in place), a path to a ``.yaml``/
+    ``.yml``/``.json`` file, or a string of YAML/JSON.  YAML support is
+    optional — without PyYAML, JSON configs still load and a YAML file
+    raises a :class:`ScenarioError` explaining the gap.
+    """
+    name = "scenario"
+    if isinstance(source, dict):
+        return validate(source, source.get("name", "scenario"))
+    if isinstance(source, Path) or (isinstance(source, str)
+                                    and ("\n" not in source)
+                                    and source.strip() == source
+                                    and Path(source).suffix.lower()
+                                    in (".yaml", ".yml", ".json")):
+        path = Path(source)
+        if not path.exists():
+            raise ScenarioError(f"no such scenario file: {path}")
+        text = path.read_text()
+        name = path.stem
+        if path.suffix.lower() == ".json":
+            try:
+                return validate(json.loads(text), name)
+            except json.JSONDecodeError as exc:
+                raise ScenarioError(f"{path}: invalid JSON: {exc}") from None
+        if _yaml is None:
+            raise ScenarioError(
+                f"{path}: PyYAML is not installed; use a .json scenario file")
+        try:
+            raw = _yaml.safe_load(text)
+        except _yaml.YAMLError as exc:
+            raise ScenarioError(f"{path}: invalid YAML: {exc}") from None
+        return validate(raw, name)
+    if isinstance(source, str):
+        try:
+            raw = json.loads(source)
+        except json.JSONDecodeError:
+            if _yaml is None:
+                raise ScenarioError(
+                    "cannot parse scenario text: not JSON and PyYAML is "
+                    "not installed") from None
+            try:
+                raw = _yaml.safe_load(source)
+            except _yaml.YAMLError as exc:
+                raise ScenarioError(f"invalid scenario text: {exc}") from None
+        return validate(raw, name)
+    raise ScenarioError(
+        f"cannot load a scenario from {type(source).__name__!r}")

@@ -125,3 +125,98 @@ def test_int8_flip_all_bits_is_complement(value):
     for bit in range(8):
         arr = bitflip.flip_bits(arr, bit)
     assert arr[0] == ~np.int8(value)
+
+
+# Every dtype the bit-level helpers support, with a value set that covers
+# zero, sign, and large-magnitude patterns in each representation.
+STUCK_DTYPES = [
+    (np.float16, [0.0, 1.0, -1.0, 3.14, -65000.0]),
+    (np.float32, [0.0, 1.0, -1.0, 3.14, -1e30]),
+    (np.float64, [0.0, 1.0, -1.0, 3.14, -1e300]),
+    (np.int8, [0, 1, -1, 100, -128]),
+    (np.uint8, [0, 1, 128, 255]),
+    (np.int32, [0, 1, -1, 2**30, -(2**31)]),
+    (np.int64, [0, 1, -1, 2**62, -(2**63)]),
+]
+
+
+class TestStuckAtBitsExhaustive:
+    """set/clear/stuck_at over every bit index of every supported dtype."""
+
+    @pytest.mark.parametrize("dtype,values", STUCK_DTYPES,
+                             ids=[np.dtype(d).name for d, _ in STUCK_DTYPES])
+    def test_every_bit_forced_and_idempotent(self, dtype, values):
+        width = np.dtype(dtype).itemsize * 8
+        arr = np.array(values, dtype=dtype)
+        for bit in range(width):
+            for stuck, op in ((1, bitflip.set_bits), (0, bitflip.clear_bits)):
+                out = op(arr, bit)
+                got = (bitflip.float_to_bits(out) >> bit) & 1
+                np.testing.assert_array_equal(got, stuck,
+                                              err_msg=f"bit {bit} stuck {stuck}")
+                # Idempotent: the same broken cell reads the same forever.
+                np.testing.assert_array_equal(
+                    bitflip.float_to_bits(op(out, bit)),
+                    bitflip.float_to_bits(out))
+                # Dispatcher agrees with the direct op.
+                np.testing.assert_array_equal(
+                    bitflip.float_to_bits(bitflip.stuck_at_bits(arr, bit, stuck)),
+                    bitflip.float_to_bits(out))
+
+    @pytest.mark.parametrize("dtype,values", STUCK_DTYPES,
+                             ids=[np.dtype(d).name for d, _ in STUCK_DTYPES])
+    def test_only_the_target_bit_changes(self, dtype, values):
+        width = np.dtype(dtype).itemsize * 8
+        arr = np.array(values, dtype=dtype)
+        before = bitflip.float_to_bits(arr)
+        mask_type = before.dtype.type
+        for bit in range(width):
+            mask = mask_type(~(np.array(1, dtype=before.dtype) << bit))
+            for op in (bitflip.set_bits, bitflip.clear_bits):
+                after = bitflip.float_to_bits(op(arr, bit))
+                np.testing.assert_array_equal(before & mask, after & mask)
+
+    def test_set_then_clear_differ_when_bit_matters(self):
+        arr = np.array([1.0], dtype=np.float32)
+        set31 = bitflip.set_bits(arr, 31)
+        clear31 = bitflip.clear_bits(arr, 31)
+        assert set31[0] == -1.0 and clear31[0] == 1.0
+
+    def test_per_element_bit_arrays(self):
+        arr = np.array([1.0, 1.0], dtype=np.float32)
+        out = bitflip.set_bits(arr, np.array([31, 30]))
+        assert out[0] == -1.0
+        assert out[1] > 1.0  # exponent MSB forced high
+
+    def test_inputs_never_modified(self):
+        arr = np.array([7], dtype=np.int8)
+        bitflip.set_bits(arr, 7)
+        bitflip.clear_bits(arr, 0)
+        bitflip.stuck_at_bits(arr, 3, 1)
+        assert arr[0] == 7
+
+    def test_range_and_stuck_validation(self):
+        arr = np.array([1.0], dtype=np.float32)
+        for op in (bitflip.set_bits, bitflip.clear_bits):
+            with pytest.raises(ValueError, match="out of range"):
+                op(arr, 32)
+            with pytest.raises(ValueError, match="out of range"):
+                op(arr, -1)
+        with pytest.raises(ValueError, match="stuck must be 0 or 1"):
+            bitflip.stuck_at_bits(arr, 0, 2)
+
+    @given(finite32, st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=1))
+    def test_stuck_then_flip_restores_original_when_bit_already_matched(
+            self, value, bit, stuck):
+        """If the bit already holds ``stuck``, forcing it is the identity."""
+        arr = np.array([value], dtype=np.float32)
+        already = int((bitflip.float_to_bits(arr)[0] >> bit) & 1)
+        out = bitflip.stuck_at_bits(arr, bit, stuck)
+        if already == stuck:
+            np.testing.assert_array_equal(bitflip.float_to_bits(out),
+                                          bitflip.float_to_bits(arr))
+        else:
+            np.testing.assert_array_equal(
+                bitflip.float_to_bits(out),
+                bitflip.float_to_bits(bitflip.flip_bits(arr, bit)))

@@ -251,3 +251,113 @@ class TestInjectCampaignJson:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
         assert "out of range" in payload["error"]
+
+
+SCENARIO = {
+    "name": "cli-scenario",
+    "family": "transient",
+    "seed": 0,
+    "model": {"name": "resnet18", "dataset": "cifar10", "scale": "smoke"},
+    "campaign": {"batch_size": 8, "pool_size": 32},
+    "transient": {"injections": 8},
+}
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(SCENARIO))
+    return str(path)
+
+
+class TestScenarioCommands:
+    def test_validate_ok(self, scenario_file, capsys):
+        assert main(["scenario", "validate", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "ok: scenario is valid" in out
+
+    def test_validate_json(self, scenario_file, capsys):
+        assert main(["scenario", "validate", scenario_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["family"] == "transient"
+
+    def test_validate_bad_config_is_rc2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**SCENARIO, "family": "cosmic"}))
+        assert main(["scenario", "validate", str(bad)]) == 2
+        assert "family" in capsys.readouterr().err
+
+    def test_validate_bad_config_json_is_rc2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**SCENARIO, "campaign": {"batch_size": 0}}))
+        assert main(["scenario", "validate", str(bad), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "campaign.batch_size" in payload["error"]
+
+    def test_missing_file_is_rc2(self, capsys):
+        assert main(["scenario", "validate", "/nonexistent/x.yaml"]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_run_json_payload(self, scenario_file, capsys):
+        assert main(["scenario", "run", scenario_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["scenario"] == "cli-scenario"
+        assert payload["family"] == "transient"
+        assert payload["injections"] == 8
+        point = payload["points"][0]
+        assert {"label", "injections", "corruptions", "sdc_rate",
+                "ci_low", "ci_high"} <= set(point)
+
+    def test_run_workers_matches_serial(self, scenario_file, capsys):
+        outcomes = {}
+        for workers in ("1", "2"):
+            assert main(["scenario", "run", scenario_file,
+                         "--workers", workers, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            outcomes[workers] = payload["points"]
+        assert outcomes["1"] == outcomes["2"]
+
+    def test_run_human_output_has_ci(self, scenario_file, capsys):
+        assert main(["scenario", "run", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli-scenario" in out
+        assert "CI [" in out
+
+    def test_inject_scenario_delegates(self, scenario_file, capsys):
+        assert main(["inject", "alexnet", "--scenario", scenario_file,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # --scenario replaces the scenario's model with the CLI positional.
+        assert payload["model"] == "alexnet"
+
+    def test_inject_scenario_campaign_exclusive(self, scenario_file, capsys):
+        assert main(["inject", "alexnet", "--scenario", scenario_file,
+                     "--campaign", "4", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "exclusive" in payload["error"]
+
+    def test_run_accumulated_writes_artifact(self, tmp_path, capsys):
+        config = {
+            "name": "cli-sweep",
+            "family": "accumulated",
+            "seed": 0,
+            "model": {"name": "resnet18", "dataset": "cifar10",
+                      "scale": "smoke"},
+            "campaign": {"batch_size": 8, "pool_size": 32},
+            "fault": {"quantize": True},
+            "accumulated": {"counts": [0, 2], "evaluations": 8},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(config))
+        out_dir = tmp_path / "results"
+        assert main(["scenario", "run", str(path), "--out-dir", str(out_dir),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        artifact = json.loads(
+            (out_dir / "scenario_cli-sweep.json").read_text())
+        assert artifact["schema"] == "repro.scenario.sweep/1"
+        assert payload["artifact"].endswith("scenario_cli-sweep.json")

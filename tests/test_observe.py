@@ -412,6 +412,39 @@ class TestReport:
     def test_render_json_is_strict(self):
         assert json.loads(render_json(aggregate(self._events())))
 
+    def test_aggregate_carries_wilson_intervals(self):
+        from repro.campaign.stats import wilson_interval
+
+        report = aggregate(self._events())
+        lo, hi = wilson_interval(1, 2, 0.99)
+        assert report["summary"]["confidence"] == 0.99
+        assert report["summary"]["ci_low"] == pytest.approx(lo)
+        assert report["summary"]["ci_high"] == pytest.approx(hi)
+        (layer0,) = report["layers"]
+        assert layer0["ci_low"] == pytest.approx(lo)
+        assert layer0["ci_high"] == pytest.approx(hi)
+        assert 0.0 <= layer0["ci_low"] < 0.5 < layer0["ci_high"] <= 1.0
+
+    def test_zero_injection_interval_is_null(self):
+        events = [ev for ev in self._events()
+                  if ev.get("type") in ("campaign_start", "campaign_end")]
+        report = aggregate(events)
+        assert report["summary"]["ci_low"] is None
+        assert report["summary"]["ci_high"] is None
+
+    def test_markdown_renders_ci_column(self):
+        from repro.campaign.stats import wilson_interval
+
+        report = aggregate(self._events())
+        text = render_markdown(report)
+        lo, hi = wilson_interval(1, 2, 0.99)
+        assert "99% CI" in text
+        assert f"[{lo:.4f}, {hi:.4f}]" in text
+        # The summary bullet carries the interval too, not just the table.
+        summary_lines = [line for line in text.splitlines()
+                         if line.startswith("-") and "99% CI [" in line]
+        assert summary_lines
+
 
 class TestPerfCountersReset:
     def test_reset_zeroes_tallies_and_keeps_config(self):
