@@ -1,0 +1,147 @@
+"""Telemetry overhead — streamed campaign vs the default (silent) path.
+
+Runs the same fixed-seed resume campaign on resnet18 with telemetry off
+and on (bus + flight recorder + live subscriber + NDJSON server with a
+connected client draining the stream), asserts the streamed run is
+bitwise identical, and bounds its overhead, appending a JSON record under
+``results/`` so the "telemetry never perturbs the science and costs
+≤10%" claim in README/DESIGN has a number behind it.
+
+Timing uses the same minimum-of-paired-ratios estimator as the profiler
+benchmark: scheduler jitter is additive, so the smallest per-pair ratio
+bounds the telemetry plane's intrinsic cost from above.
+"""
+
+import json
+import socket
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro import models
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip
+from repro.data import SyntheticClassification
+from repro.telemetry import FlightRecorder, TelemetryBus, TelemetryServer
+from repro.tensor import Tensor, no_grad
+
+from .conftest import run_once
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "telemetry_overhead.json"
+N_INJECTIONS = 256
+TRIALS = 7
+TELEMETRY_OVERHEAD_CEILING = 0.10  # min paired ratio must stay under +10%
+
+
+class _SelfLabelled:
+    """Labels inputs with the model's own clean argmax (100% pool accuracy)."""
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
+class _DrainingClient:
+    """A real socket client that keeps the server's fan-out path hot."""
+
+    def __init__(self, endpoint):
+        host, port = endpoint.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)))
+        self.sock.settimeout(0.1)
+        self.bytes_read = 0
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._drain, daemon=True)
+        self.thread.start()
+
+    def _drain(self):
+        while not self._stop.is_set():
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not chunk:
+                return
+            self.bytes_read += len(chunk)
+
+    def close(self):
+        self._stop.set()
+        self.thread.join()
+        self.sock.close()
+
+
+def _measure():
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)
+    net.eval()
+    dataset = _SelfLabelled(
+        net, SyntheticClassification(num_classes=10, image_size=32, seed=5))
+
+    def run(telemetry):
+        campaign = InjectionCampaign(
+            net, dataset, error_model=SingleBitFlip(), batch_size=16,
+            pool_size=32, rng=7, strategy="uniform_layer", resume=True)
+        result = campaign.run(N_INJECTIONS, telemetry=telemetry,
+                              observe=bool(telemetry))
+        return result, campaign
+
+    def run_streamed():
+        bus = TelemetryBus(recorder=FlightRecorder())
+        server = TelemetryServer(bus, "127.0.0.1:0").start()
+        client = _DrainingClient(server.endpoint)
+        try:
+            result, campaign = run(bus)
+        finally:
+            server.stop()
+            client.close()
+        return result, campaign, bus, client
+
+    times = {"plain": [], "streamed": []}
+    baseline, _ = run(None)
+    streamed_runs = []
+    for _ in range(TRIALS):
+        _, campaign = run(None)
+        times["plain"].append(campaign.perf.elapsed_seconds)
+        result_on, campaign_on, bus, client = run_streamed()
+        times["streamed"].append(campaign_on.perf.elapsed_seconds)
+        streamed_runs.append((result_on, bus, client))
+    return baseline, streamed_runs, times
+
+
+def test_streamed_campaign_overhead_and_equivalence(benchmark):
+    baseline, streamed_runs, times = run_once(benchmark, _measure)
+    for result, bus, client in streamed_runs:
+        # Telemetry must not change the science: bitwise-identical outcomes.
+        assert result.corruptions == baseline.corruptions
+        assert np.array_equal(result.per_layer_corruptions,
+                              baseline.per_layer_corruptions)
+        # And the plane must actually have carried the campaign.
+        assert bus.events_published > N_INJECTIONS  # per-injection + lifecycle
+        assert client.bytes_read > 0
+    ratios = [on / off for on, off in zip(times["streamed"], times["plain"])]
+    assert min(ratios) <= 1.0 + TELEMETRY_OVERHEAD_CEILING, (
+        f"streamed campaign min ratio {min(ratios):.3f} exceeds "
+        f"+{TELEMETRY_OVERHEAD_CEILING:.0%}")
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({
+        "model": "resnet18",
+        "scale": "smoke",
+        "n_injections": N_INJECTIONS,
+        "trials": TRIALS,
+        "plain_s": times["plain"],
+        "streamed_s": times["streamed"],
+        "min_ratio": min(ratios),
+        "median_ratio": sorted(ratios)[len(ratios) // 2],
+    }, indent=2) + "\n")

@@ -67,7 +67,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..profile.heartbeat import coerce_progress
+from ..profile.heartbeat import _finish_progress, coerce_progress
 from . import recovery as recovery_mod
 from .recovery import coerce_policy
 from .runner import CampaignResult
@@ -127,6 +127,16 @@ def _worker_main(campaign, wid, chunks, n_injections, plan, in_queue, out_queue,
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     try:
         pool_idx, layers, coords, seeds = plan
+        # The parent's telemetry bus forked along with the campaign, but a
+        # copy-on-write clone of its queues goes nowhere.  Replace it with
+        # a relay: publishes buffer in-process and ride home inside each
+        # chunk's completion payload, where the parent republishes them.
+        relay = None
+        if campaign.telemetry is not None:
+            from ..telemetry import WorkerTelemetryRelay
+
+            relay = WorkerTelemetryRelay(wid)
+        campaign.telemetry = relay
         if profile_enabled:
             from ..profile.profiler import Profiler
 
@@ -194,8 +204,12 @@ def _worker_main(campaign, wid, chunks, n_injections, plan, in_queue, out_queue,
                     payload["observe_events"] = events
                 payload["clean_captures"] = int(
                     tracer.clean_captures - captures_before)
+            if relay is not None:
+                payload["telemetry"] = relay.take()
             out_queue.put(("chunk", wid, chunk_id, payload))
         except BaseException:
+            if relay is not None:
+                relay.take()  # drop the failed attempt's partial events
             out_queue.put(("chunk_failed", wid, chunk_id,
                            traceback.format_exc()))
 
@@ -280,6 +294,12 @@ class ParallelCampaignExecutor:
         self.campaign = campaign
         self.workers = int(workers)
         self.policy = coerce_policy(recovery)
+
+    def _publish(self, source, kind, data, worker=None):
+        """Publish one telemetry envelope if the campaign has a bus."""
+        bus = self.campaign.telemetry
+        if bus is not None:
+            bus.publish(source, kind, data, worker=worker)
 
     # ------------------------------------------------------------------ #
     # Observer plumbing
@@ -398,6 +418,9 @@ class ParallelCampaignExecutor:
             state.fold_journaled(cid, record)
         if progress is not None and state.completed_injections:
             progress(state.completed_injections, n_injections)
+        if state.completed_injections:
+            self._publish("campaign", "progress", {
+                "done": state.completed_injections, "total": n_injections})
 
         # SIGTERM gets the same graceful-drain treatment as Ctrl-C.  Signal
         # handlers only install from the main thread; elsewhere a SIGTERM
@@ -447,6 +470,7 @@ class ParallelCampaignExecutor:
         handle = _WorkerHandle(wid, proc, in_queue)
         state.workers[wid] = handle
         state.shard_ids.append(wid)
+        self._publish("worker", "spawn", {"wid": wid, "pid": proc.pid})
         return handle
 
     def _execute_fleet(self, state, chunks, n_injections, plan, progress,
@@ -520,6 +544,8 @@ class ParallelCampaignExecutor:
                                      plan, out_queue, observe_mode,
                                      observe_base, record_events, prof.enabled)
                 state.respawns += 1
+                self._publish("recovery", "worker_respawned",
+                              {"wid": wid, "respawns": state.respawns})
                 self._dispatch(state, handle)
             try:
                 msg = out_queue.get(timeout=_POLL_TIMEOUT_S)
@@ -551,12 +577,20 @@ class ParallelCampaignExecutor:
                     # below reaps the worker and requeues its chunk.
                     state.fatal_errors[wid] = msg[2]
                 elif kind == "done":
-                    handle.finished = True
-                    state.done_payloads[wid] = msg[2]
+                    self._note_done(state, wid, msg[2])
             self._reap_failures(state)
             if (not state.live_workers() and state.outstanding
                     and respawn_at is None):
                 if state.respawns >= policy.max_respawns:
+                    self._publish("recovery", "fleet_exhausted", {
+                        "respawns": state.respawns,
+                        "unfinished_chunks": len(state.outstanding)})
+                    bus = self.campaign.telemetry
+                    if bus is not None and getattr(bus, "recorder", None) is not None:
+                        bus.dump_flight(
+                            "fleet_exhausted",
+                            out_dir=Path(state.journal.path).parent
+                            if state.journal is not None else None)
                     raise RuntimeError(
                         f"campaign fleet exhausted: every worker died, "
                         f"{state.respawns} respawn(s) already used "
@@ -582,6 +616,9 @@ class ParallelCampaignExecutor:
                     warnings.warn(
                         f"campaign worker {handle.wid} died ({detail}); "
                         f"requeueing its work", RuntimeWarning, stacklevel=3)
+                    self._publish("worker", "died", {
+                        "wid": handle.wid, "pid": handle.proc.pid,
+                        "detail": detail.splitlines()[-1] if detail else detail})
                     if handle.current is not None:
                         cid, handle.current = handle.current, None
                         if handle.started_at is None:
@@ -601,6 +638,12 @@ class ParallelCampaignExecutor:
                     f"campaign worker {handle.wid} exceeded the "
                     f"{policy.watchdog_s:g}s per-chunk watchdog on chunk "
                     f"{cid}; terminating it", RuntimeWarning, stacklevel=3)
+                self._publish("recovery", "watchdog_kill", {
+                    "wid": handle.wid, "chunk": cid,
+                    "watchdog_s": policy.watchdog_s})
+                self._publish("worker", "died", {
+                    "wid": handle.wid, "pid": handle.proc.pid,
+                    "detail": "watchdog"})
                 handle.proc.kill()
                 handle.proc.join(timeout=_JOIN_TIMEOUT_S)
                 handle.current = None
@@ -609,12 +652,28 @@ class ParallelCampaignExecutor:
                     f"watchdog: chunk exceeded {policy.watchdog_s:g}s "
                     f"on worker {handle.wid}")
 
+    def _note_done(self, state, wid, payload):
+        """Record one worker's exit report (idempotent across drain paths)."""
+        handle = state.workers[wid]
+        if not handle.finished:
+            handle.finished = True
+            self._publish("worker", "exit",
+                          {"wid": wid, "pid": payload.get("pid")})
+        state.done_payloads[wid] = payload
+
     def _on_chunk(self, state, handle, cid, payload):
         handle.started_at = None
         if handle.current == cid:
             handle.current = None
         if cid in state.done or cid in state.quarantined:
             return  # duplicate completion of a retried chunk; results identical
+        bus = self.campaign.telemetry
+        if bus is not None:
+            # Republish the worker's buffered telemetry with this process's
+            # sequence numbers.  A retried chunk's duplicate rows never get
+            # here — the dedup above discards them with the payload.
+            for source, kind, data, worker in payload.get("telemetry") or ():
+                bus.publish(source, kind, data, worker=worker)
         state.fold_chunk(cid, payload)
         handle.injections += payload["injections"]
         handle.chunks_done += 1
@@ -628,12 +687,17 @@ class ParallelCampaignExecutor:
         if state.attempts[cid] >= self.policy.max_chunk_attempts:
             state.chunk_retries -= 1  # the terminal attempt is not retried
             state.quarantine(cid, detail)
+            self._publish("recovery", "chunk_quarantined", {
+                "chunk": cid, "attempts": state.attempts[cid],
+                "error": detail.splitlines()[-1] if detail else detail})
             warnings.warn(
                 f"chunk {cid} quarantined after "
                 f"{self.policy.max_chunk_attempts} failed attempt(s): "
                 f"{detail.splitlines()[-1] if detail else detail}",
                 RuntimeWarning, stacklevel=3)
         else:
+            self._publish("recovery", "chunk_requeued", {
+                "chunk": cid, "attempts": state.attempts[cid]})
             state.requeue(cid)
 
     def _collect_done(self, state, out_queue, progress, n_injections):
@@ -652,8 +716,7 @@ class ParallelCampaignExecutor:
                 continue
             kind, wid = msg[0], msg[1]
             if kind == "done":
-                state.workers[wid].finished = True
-                state.done_payloads[wid] = msg[2]
+                self._note_done(state, wid, msg[2])
             elif kind == "chunk":
                 self._on_chunk(state, state.workers[wid], msg[2], msg[3])
         for handle in state.workers.values():
@@ -685,8 +748,7 @@ class ParallelCampaignExecutor:
                 elif kind == "chunk_failed":
                     handle.current = None
                 elif kind == "done":
-                    handle.finished = True
-                    state.done_payloads[wid] = msg[2]
+                    self._note_done(state, wid, msg[2])
         except KeyboardInterrupt:
             pass  # second interrupt: stop draining, terminate now
         finally:
@@ -745,6 +807,16 @@ class ParallelCampaignExecutor:
                     trace.record(**state.trace_events[p])
         if progress is not None:
             progress(state.completed_injections, n_injections)
+        # A quarantined chunk leaves completed < total, so the heartbeat's
+        # own final-tick bypass never fires; force its terminal line.
+        _finish_progress(progress, state.completed_injections, n_injections)
+        bus = campaign.telemetry
+        if (bus is not None and state.quarantined
+                and getattr(bus, "recorder", None) is not None):
+            bus.dump_flight(
+                "quarantine",
+                out_dir=Path(state.journal.path).parent
+                if state.journal is not None else None)
         campaign.parallel_info = {
             "requested_workers": self.workers,
             "workers": len(shard_ids),
@@ -775,6 +847,10 @@ class ParallelCampaignExecutor:
         if state.journal is not None:
             if not state.quarantined:
                 state.journal.write_footer(result)
+                self._publish("recovery", "journal_complete", {
+                    "path": str(state.journal.path),
+                    "chunks_written": int(state.journal.records_written),
+                })
             state.journal.close()
         if tracer is not None:
             self._merge_observe(tracer, observe_mode, observe_base, shard_ids,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -27,7 +28,7 @@ from ..core import FaultInjection, SingleBitFlip
 from ..core.fault_injection import NeuronSite, WeightSite
 from ..core.injectors import _quant_for_layer, random_neuron_locations, random_weight_locations
 from ..perf import CampaignPerfCounters
-from ..profile.heartbeat import coerce_progress
+from ..profile.heartbeat import _finish_progress, coerce_progress
 from ..profile.profiler import coerce_profiler
 from ..tensor import Tensor, no_grad
 from ..tensor import rng as _rng
@@ -147,6 +148,11 @@ class InjectionCampaign:
         self.perf = CampaignPerfCounters()
         self.profiler = coerce_profiler(profiler)
         self.observer = None  # set by run(observe=...), see repro.observe
+        # Live telemetry (repro.telemetry): a TelemetryBus for the duration
+        # of one run() in this process, a WorkerTelemetryRelay inside forked
+        # workers.  Publishing only reads campaign state — outcomes, RNG
+        # stream, and cache statistics are bitwise identical with it on.
+        self.telemetry = None
         shape = input_shape if input_shape is not None else dataset.input_shape
         self._work_model = model.clone()
         self._work_model.eval()
@@ -419,6 +425,15 @@ class InjectionCampaign:
                         resumed=resumed,
                         latency_s=chunk_elapsed,
                     )
+            if self.telemetry is not None:
+                self.telemetry.publish("campaign", "chunk", {
+                    "chunk": int(chunk_ids[ci]) if chunk_ids is not None else ci,
+                    "layer": layer_idx,
+                    "injections": len(positions),
+                    "corruptions": int(corrupted_total - corrupted_before),
+                    "resumed": bool(resumed),
+                    "elapsed_s": float(chunk_elapsed),
+                })
             if on_chunk is not None:
                 info = {
                     "layer": layer_idx,
@@ -490,7 +505,7 @@ class InjectionCampaign:
             resident.restore()
 
     def run(self, n_injections, confidence=0.99, progress=None, trace=None, observe=None,
-            workers=1, journal=None, recovery=None, resident=None):
+            workers=1, journal=None, recovery=None, resident=None, telemetry=None):
         """Perform ``n_injections`` randomized injections; aggregate results.
 
         Pass an :class:`~repro.campaign.trace.InjectionTrace` as ``trace``
@@ -543,6 +558,19 @@ class InjectionCampaign:
         is invalidated whenever the resident set changes between runs,
         and the journal fingerprint pins the set so a journal written for
         a different resident configuration is rejected.
+
+        ``telemetry=`` attaches a live event bus
+        (:class:`~repro.telemetry.TelemetryBus`, or ``True`` for a fresh
+        one with a flight recorder): the run publishes its lifecycle,
+        per-chunk completions, heartbeat ticks, recovery/journal events,
+        worker liveness, and observe events as schema-versioned envelopes
+        any number of consumers (stream server, sampler, flight recorder,
+        ``repro top``) subscribe to.  Publishing never blocks the hot
+        path and never perturbs the science: outcomes, RNG stream, and
+        cache statistics are bitwise identical with telemetry on.  On an
+        abnormal end (interrupt, fleet exhausted, unhandled exception)
+        the attached flight recorder dumps its ring of recent events next
+        to the journal (or into its configured directory).
         """
         if n_injections < 1:
             raise ValueError(f"n_injections must be >= 1, got {n_injections}")
@@ -550,21 +578,82 @@ class InjectionCampaign:
             workers = 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        from ..telemetry import coerce_bus
+
         # A nested dispatch (the parallel executor's serial fallback) runs
         # inside the outer call's resident session; don't re-enter it.
         nested = resident is None and self._resident_active is not None
         if not nested:
             self._begin_resident_session(resident)
+        # Same nesting rule for the bus: the outer call owns the lifecycle
+        # events and the flight dump; a nested dispatch publishes through
+        # the already-attached bus without re-announcing the run.
+        bus = coerce_bus(telemetry)
+        owns_bus = not (bus is None and self.telemetry is not None)
+        if owns_bus:
+            self.telemetry = bus
+        tel = self.telemetry
+        recorder = getattr(tel, "recorder", None) if owns_bus else None
+        # Failure sites closer to the fault (fleet-exhausted, quarantine)
+        # dump the flight recorder themselves with a sharper reason; the
+        # mark keeps this outer catch-all from dumping a second time.
+        dump_mark = len(recorder.dumps) if recorder is not None else None
+        if tel is not None and owns_bus:
+            tel.publish("campaign", "run_start", {
+                "network": self.network_name,
+                "n_injections": int(n_injections),
+                "workers": int(workers),
+                "target": self.target,
+                "journal": str(journal) if journal is not None else None,
+            })
         try:
             if workers > 1:
                 from .parallel import ParallelCampaignExecutor
 
-                return ParallelCampaignExecutor(self, workers, recovery=recovery).run(
+                result = ParallelCampaignExecutor(self, workers, recovery=recovery).run(
                     n_injections, confidence=confidence, progress=progress,
                     trace=trace, observe=observe, journal=journal)
-            return self._run_serial(n_injections, confidence, progress, trace,
-                                    observe, journal)
+            else:
+                # Serial runs get the same graceful SIGTERM treatment as the
+                # parallel executor: map it to KeyboardInterrupt so the
+                # journal footer, partial result, and flight dump all land.
+                # Handlers only install from the main thread; elsewhere the
+                # default disposition stays and the journal still survives.
+                import signal
+
+                from .parallel import _raise_keyboard_interrupt
+                try:
+                    previous_sigterm = signal.signal(
+                        signal.SIGTERM, _raise_keyboard_interrupt)
+                except ValueError:
+                    previous_sigterm = None
+                try:
+                    result = self._run_serial(n_injections, confidence,
+                                              progress, trace, observe,
+                                              journal)
+                finally:
+                    if previous_sigterm is not None:
+                        signal.signal(signal.SIGTERM, previous_sigterm)
+            if tel is not None and owns_bus:
+                tel.publish("campaign", "run_end", {
+                    "injections": int(result.injections),
+                    "corruptions": int(result.corruptions),
+                })
+            return result
+        except BaseException as err:
+            if tel is not None and owns_bus:
+                reason = ("interrupt" if isinstance(err, KeyboardInterrupt)
+                          else type(err).__name__.lower())
+                tel.publish("campaign", "run_aborted",
+                            {"reason": reason, "error": str(err)})
+                if recorder is not None and len(recorder.dumps) == dump_mark:
+                    out_dir = (Path(journal).parent
+                               if journal is not None else None)
+                    tel.dump_flight(reason, out_dir=out_dir)
+            raise
         finally:
+            if owns_bus:
+                self.telemetry = None
             if not nested:
                 self._end_resident_session()
 
@@ -623,6 +712,9 @@ class InjectionCampaign:
                         events[p] = ev
                 if progress is not None:
                     on_progress(record["injections"])
+            if self.telemetry is not None and completed:
+                self.telemetry.publish("campaign", "progress", {
+                    "done": int(per_layer_inj.sum()), "total": int(n_injections)})
             remaining_ids = [i for i in range(len(chunks)) if i not in completed]
             exec_inj, exec_cor, exec_corrupted = self._execute_plan(
                 [chunks[i] for i in remaining_ids], pool_idx, layers, coords, seeds,
@@ -648,8 +740,14 @@ class InjectionCampaign:
             )
             if journal_log is not None:
                 journal_log.write_footer(result)
+                if self.telemetry is not None:
+                    self.telemetry.publish("recovery", "journal_complete", {
+                        "path": str(journal_log.path),
+                        "chunks_written": int(journal_log.records_written),
+                    })
             if observer is not None:
                 observer.finish(self, result)
+            _finish_progress(progress, n_injections, n_injections)
             return result
         finally:
             if journal_log is not None:

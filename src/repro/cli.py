@@ -16,6 +16,11 @@ Commands
                            ``--json``; sweep artifacts under ``--out-dir``)
 ``report <log.jsonl>``     render a campaign telemetry log as markdown/JSON
                            (``--profile`` merges a profile summary)
+``top <sock|dump>``        live status board for a ``--stream``'ed campaign,
+                           or the post-mortem view of a flight-recorder dump
+
+``inject``, ``scenario run``, and ``profile`` accept ``--stream SOCK`` to
+serve live NDJSON telemetry (see :mod:`repro.telemetry`) while they run.
 """
 
 from __future__ import annotations
@@ -91,12 +96,61 @@ class _SelfLabelledDataset:
         return images, preds
 
 
+def _telemetry_start(args, campaign):
+    """Attach the live-telemetry plane around one CLI campaign run.
+
+    Returns ``(bus, server, sampler)``: a bus with a flight recorder (its
+    dumps land next to the journal when there is one, else under the
+    results directory), an NDJSON streaming server when ``--stream`` was
+    given, and the periodic gauge sampler.
+    """
+    from .telemetry import (FlightRecorder, TelemetryBus, TelemetrySampler,
+                            TelemetryServer)
+
+    journal = getattr(args, "journal", None)
+    dump_dir = (Path(journal).parent if journal
+                else Path(getattr(args, "out_dir", None) or "results"))
+    bus = TelemetryBus(recorder=FlightRecorder(out_dir=dump_dir))
+    server = None
+    if getattr(args, "stream", None):
+        server = TelemetryServer(bus, args.stream).start()
+        print(f"telemetry: streaming NDJSON on {server.endpoint}",
+              file=sys.stderr)
+    sampler = TelemetrySampler(bus, campaign=campaign).start()
+    return bus, server, sampler
+
+
+def _telemetry_stop(server, sampler):
+    """Idempotent teardown: final gauges first, then drain the server."""
+    if sampler is not None:
+        sampler.stop()
+    if server is not None:
+        server.stop()
+
+
+def _telemetry_block(bus, server):
+    """The ``telemetry`` block of the machine-readable JSON records."""
+    stats = bus.stats()
+    recorder = bus.recorder
+    dump = recorder.last_dump if recorder is not None else None
+    return {
+        "events_published": int(stats["events_published"]),
+        "events_dropped": int(stats["events_dropped"]),
+        "clients_served": int(server.clients_served) if server is not None else 0,
+        "recorder_dump": str(dump) if dump is not None else None,
+    }
+
+
 def _cmd_profile(args):
     model_name = args.model_flag or args.model
     if model_name is None:
         print("error: profile needs a model (positional or --model)", file=sys.stderr)
         return 2
     if args.model_flag is None and not args.campaign:
+        if args.stream or args.metrics_out:
+            print("error: --stream/--metrics-out need a runtime profile "
+                  "(--model or --campaign)", file=sys.stderr)
+            return 2
         return _profile_layer_table(args, model_name)
     return _profile_runtime(args, model_name)
 
@@ -134,6 +188,9 @@ def _profile_runtime(args, model_name):
     if args.workers > 1 and not args.campaign:
         print("error: --workers requires --campaign N", file=sys.stderr)
         return 2
+    if args.stream and not args.campaign:
+        print("error: --stream requires --campaign N", file=sys.stderr)
+        return 2
     try:
         if args.campaign:
             tensor.manual_seed(args.seed)
@@ -149,8 +206,14 @@ def _profile_runtime(args, model_name):
                 net, dataset, batch_size=args.batch_size,
                 pool_size=max(32, 2 * args.batch_size), rng=args.seed,
                 network_name=model_name, profiler=profiler)
-            result = campaign.run(args.campaign, progress=True,
-                                  workers=args.workers)
+            bus = server = sampler = None
+            if args.stream:
+                bus, server, sampler = _telemetry_start(args, campaign)
+            try:
+                result = campaign.run(args.campaign, progress=True,
+                                      workers=args.workers, telemetry=bus)
+            finally:
+                _telemetry_stop(server, sampler)
             meta = {
                 "mode": "campaign",
                 "model": model_name,
@@ -164,6 +227,8 @@ def _profile_runtime(args, model_name):
                 meta["workers"] = campaign.parallel_info["workers"]
                 meta["wall_time_s"] = round(
                     campaign.parallel_info["wall_time_s"], 3)
+            if bus is not None:
+                meta["telemetry"] = _telemetry_block(bus, server)
         else:
             _, profiler, meta = profile_model(
                 model_name, dataset=args.dataset, scale=args.scale,
@@ -177,6 +242,12 @@ def _profile_runtime(args, model_name):
     print()
     for kind in ("trace", "summary_json", "summary_txt"):
         print(f"wrote {paths[kind]}")
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(profiler.metrics.to_prometheus_text(),
+                                encoding="utf-8")
+        print(f"wrote {metrics_path}")
     return 0
 
 
@@ -229,15 +300,23 @@ def _inject_campaign(args):
             f"{campaign.fi.num_layers} instrumentable layers "
             f"(0..{campaign.fi.num_layers - 1})",
         )
+    bus, server, sampler = _telemetry_start(args, campaign)
     started = time.perf_counter()
     try:
+        # A --stream'ed --json run still drives the heartbeat: progress
+        # lines go to stderr, so stdout's one JSON record stays clean
+        # while the socket carries live heartbeat envelopes.
         result = campaign.run(args.campaign, workers=args.workers,
-                              progress=not args.json, journal=args.journal)
+                              progress=bool(args.stream) or not args.json,
+                              journal=args.journal, observe=args.observe,
+                              telemetry=bus)
     except CampaignInterrupted as exc:
         partial = exc.partial
+        _telemetry_stop(server, sampler)
         if args.json:
-            print(json.dumps({"ok": False, "interrupted": True, **partial},
-                             sort_keys=True))
+            print(json.dumps({"ok": False, "interrupted": True,
+                              "telemetry": _telemetry_block(bus, server),
+                              **partial}, sort_keys=True))
         else:
             print(f"interrupted: {partial['completed_injections']}"
                   f"/{partial['n_injections']} injections completed",
@@ -246,13 +325,20 @@ def _inject_campaign(args):
                 print(f"resume with: repro inject {args.model} --campaign "
                       f"{args.campaign} --seed {args.seed} --journal "
                       f"{partial['journal']}", file=sys.stderr)
+            if bus.recorder.last_dump is not None:
+                print(f"flight dump: {bus.recorder.last_dump}", file=sys.stderr)
         return 130
     except KeyboardInterrupt:
+        _telemetry_stop(server, sampler)
         if args.json:
-            print(json.dumps({"ok": False, "interrupted": True}))
+            print(json.dumps({"ok": False, "interrupted": True,
+                              "telemetry": _telemetry_block(bus, server)},
+                             sort_keys=True))
         else:
             print("interrupted", file=sys.stderr)
         return 130
+    finally:
+        _telemetry_stop(server, sampler)
     wall = time.perf_counter() - started
     info = campaign.parallel_info
     workers_used = info["workers"] if info else 1
@@ -284,6 +370,7 @@ def _inject_campaign(args):
             "degraded": degraded,
             "journal": args.journal,
             "perf": campaign.perf.as_dict(),
+            "telemetry": _telemetry_block(bus, server),
         }, sort_keys=True))
         return 3 if degraded else 0
     print(f"campaign: {result.injections} injections on {args.model}, "
@@ -294,6 +381,11 @@ def _inject_campaign(args):
         print(f"degraded: {retries} retried, {requeued} requeued, "
               f"{quarantined} quarantined chunk(s)")
     print(f"perf: {campaign.perf}")
+    if args.stream:
+        tb = _telemetry_block(bus, server)
+        print(f"telemetry: {tb['events_published']} events published, "
+              f"{tb['events_dropped']} dropped, "
+              f"{tb['clients_served']} client(s) served")
     return 3 if degraded else 0
 
 
@@ -310,6 +402,10 @@ def _cmd_inject(args):
         return _inject_fail(args, "--workers requires --campaign N")
     if args.journal is not None and not args.campaign:
         return _inject_fail(args, "--journal requires --campaign N")
+    if args.observe is not None and not args.campaign:
+        return _inject_fail(args, "--observe requires --campaign N")
+    if args.stream is not None and not args.campaign:
+        return _inject_fail(args, "--stream requires --campaign N")
     if args.campaign:
         return _inject_campaign(args)
     tensor.manual_seed(args.seed)
@@ -409,16 +505,20 @@ def _run_scenario_command(args, source, model_override=None):
         compiled = compile_scenario(config)
     except ScenarioError as exc:
         return _scenario_fail(args, str(exc))
+    bus, server, sampler = _telemetry_start(args, compiled.campaign)
     try:
         result = run_scenario(
             compiled, workers=args.workers, journal=args.journal,
             observe=getattr(args, "observe", None),
-            progress=not args.json, out_dir=args.out_dir)
+            progress=bool(getattr(args, "stream", None)) or not args.json,
+            out_dir=args.out_dir, telemetry=bus)
     except CampaignInterrupted as exc:
         partial = exc.partial
+        _telemetry_stop(server, sampler)
         if args.json:
-            print(json.dumps({"ok": False, "interrupted": True, **partial},
-                             sort_keys=True))
+            print(json.dumps({"ok": False, "interrupted": True,
+                              "telemetry": _telemetry_block(bus, server),
+                              **partial}, sort_keys=True))
         else:
             print(f"interrupted: {partial['completed_injections']}"
                   f"/{partial['n_injections']} injections of the current "
@@ -426,15 +526,24 @@ def _run_scenario_command(args, source, model_override=None):
             if partial.get("journal"):
                 print("resume by re-running the same scenario command with "
                       "the same --journal", file=sys.stderr)
+            if bus.recorder.last_dump is not None:
+                print(f"flight dump: {bus.recorder.last_dump}", file=sys.stderr)
         return 130
     except KeyboardInterrupt:
+        _telemetry_stop(server, sampler)
         if args.json:
-            print(json.dumps({"ok": False, "interrupted": True}))
+            print(json.dumps({"ok": False, "interrupted": True,
+                              "telemetry": _telemetry_block(bus, server)},
+                             sort_keys=True))
         else:
             print("interrupted", file=sys.stderr)
         return 130
+    finally:
+        _telemetry_stop(server, sampler)
     if args.json:
-        print(json.dumps({"ok": True, **result.as_dict()}, sort_keys=True))
+        print(json.dumps({"ok": True,
+                          "telemetry": _telemetry_block(bus, server),
+                          **result.as_dict()}, sort_keys=True))
         return 3 if result.degraded else 0
     print(f"scenario: {result.name} ({result.family}) on {result.model}"
           f"/{result.dataset}, seed {result.seed}, workers {result.workers}")
@@ -455,6 +564,21 @@ def _run_scenario_command(args, source, model_override=None):
 
 def _cmd_scenario_run(args):
     return _run_scenario_command(args, args.file)
+
+
+def _cmd_top(args):
+    """``repro top``: live status board for a streamed campaign.
+
+    ``source`` is either a ``--stream`` endpoint (unix-socket path or
+    ``host:port``) followed live, or a flight-recorder dump file
+    (``flight_*.json``) rendered once as the post-mortem view.
+    """
+    from .telemetry import run_top
+
+    return run_top(args.source, duration=args.duration,
+                   max_events=args.max_events,
+                   connect_timeout=args.connect_timeout,
+                   raw=args.raw, refresh_s=args.refresh)
 
 
 def _cmd_report(args):
@@ -535,6 +659,9 @@ def build_parser():
                            help="run a declarative scenario file (see repro "
                                 "scenario) with its model replaced by the "
                                 "positional MODEL argument")
+            p.add_argument("--observe", default=None, metavar="LOG",
+                           help="write per-injection telemetry JSONL "
+                                "(campaign mode)")
             p.add_argument("--out-dir", default="results",
                            help="directory for scenario sweep artifacts "
                                 "(with --scenario; default: results)")
@@ -548,10 +675,17 @@ def build_parser():
             p.add_argument("--batch-size", type=int, default=1)
             p.add_argument("--out-dir", default="results/profile",
                            help="artifact directory (default: results/profile)")
+            p.add_argument("--metrics-out", default=None, metavar="PATH",
+                           help="write the metrics registry in Prometheus "
+                                "text exposition format to PATH")
         p.add_argument("--workers", type=int, default=1, metavar="K",
                        help="shard the campaign across K forked worker processes "
                             "(requires --campaign; results are bitwise-identical "
                             "to --workers 1)")
+        p.add_argument("--stream", default=None, metavar="SOCK",
+                       help="serve live NDJSON telemetry on SOCK (unix-socket "
+                            "path or host:port; port 0 picks one) while the "
+                            "campaign runs — attach with `repro top SOCK`")
         p.set_defaults(fn=fn)
 
     scenario_parser = sub.add_parser(
@@ -584,7 +718,31 @@ def build_parser():
                                  help="emit one machine-readable JSON object; "
                                       "exit 0 clean / 2 unresolvable / "
                                       "3 degraded / 130 interrupted")
+    scen_run_parser.add_argument("--stream", default=None, metavar="SOCK",
+                                 help="serve live NDJSON telemetry on SOCK "
+                                      "(unix-socket path or host:port) while "
+                                      "the scenario runs")
     scen_run_parser.set_defaults(fn=_cmd_scenario_run)
+
+    top_parser = sub.add_parser(
+        "top", help="live status board for a --stream'ed campaign "
+                    "(or a flight-recorder dump)")
+    top_parser.add_argument("source",
+                            help="telemetry endpoint (unix-socket path or "
+                                 "host:port) or a flight_*.json dump file")
+    top_parser.add_argument("--raw", action="store_true",
+                            help="echo raw NDJSON envelopes instead of the board")
+    top_parser.add_argument("--duration", type=float, default=None, metavar="S",
+                            help="detach after S seconds")
+    top_parser.add_argument("--max-events", type=int, default=None, metavar="N",
+                            help="detach after N envelopes")
+    top_parser.add_argument("--connect-timeout", type=float, default=5.0,
+                            metavar="S",
+                            help="keep retrying the endpoint for S seconds "
+                                 "(default: 5)")
+    top_parser.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                            help="board refresh interval (default: 1s)")
+    top_parser.set_defaults(fn=_cmd_top)
 
     report_parser = sub.add_parser(
         "report", help="render a campaign telemetry log (see repro.observe)")

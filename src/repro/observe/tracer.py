@@ -274,6 +274,11 @@ class PropagationTracer:
         logits = np.asarray(logits)
         finite = np.isfinite(logits).all(axis=1)
         argmax = np.nan_to_num(logits, nan=-np.inf).argmax(axis=1)
+        # Live telemetry: one compact envelope per injection through the
+        # campaign's bus (a worker relay inside forked workers).  Publish
+        # only reads; the full event still flows through the sink path.
+        bus = (getattr(self._campaign, "telemetry", None)
+               if self._campaign is not None else None)
         for b, p in enumerate(positions):
             divergence = [
                 LayerDivergence(j, counts[b], _finite(l2[b]), _finite(linf[b]))
@@ -304,6 +309,16 @@ class PropagationTracer:
                 outcome=outcome,
             )
             self._pending[p] = event.to_dict()
+            if bus is not None:
+                bus.publish("observe", "injection", {
+                    "index": int(p),
+                    "layer": int(layer_idx),
+                    "outcome": outcome,
+                    "corrupted": bool(flags[b]),
+                    "predicted": int(argmax[b]),
+                    "label": int(labels[b]),
+                    "resumed": bool(resumed),
+                })
         self._acts = {}
         self._chunk_clean = None
 

@@ -2,8 +2,18 @@
 
 One line per tick on stderr — injections done, throughput, cache hit
 rate, ETA — rate-limited to a fixed wall-clock interval so a million-
-injection campaign does not drown its own log.  The final tick (done ==
-total) always prints, so short campaigns emit at least one line.
+injection campaign does not drown its own log.  The final tick always
+prints exactly once: a normal completion's ``done == total`` tick
+bypasses the rate limit, and executors call :meth:`~CampaignHeartbeat.finish`
+at the end of every run so a campaign that ends short (quarantined
+chunks) still gets its terminal line instead of having it interval-
+suppressed.  ETA is clamped to a finite, non-negative value — a stalled
+rate prints no ETA rather than ``nan`` or a negative count.
+
+When the campaign has a telemetry bus attached
+(:mod:`repro.telemetry`), every printed line is also published as a
+``("heartbeat", "tick")`` envelope with the same numbers, so ``repro
+top`` and stderr can never disagree.
 
 The heartbeat only *reads* campaign state (live cache tallies, counts);
 it draws from no RNG and mutates nothing, keeping the progress path under
@@ -12,6 +22,7 @@ the same invariance bar as the profiler and the observer.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 
@@ -28,6 +39,7 @@ class CampaignHeartbeat:
         self._started = None
         self._first_done = 0
         self._last_emit = None
+        self._final_emitted = False
 
     def _cache_hit_rate(self):
         campaign = self.campaign
@@ -37,6 +49,9 @@ class CampaignHeartbeat:
         total = cache.hits + cache.misses
         return cache.hits / total if total else None
 
+    def _bus(self):
+        return getattr(self.campaign, "telemetry", None)
+
     def __call__(self, done, total):
         now = self.clock()
         if self._started is None:
@@ -45,24 +60,63 @@ class CampaignHeartbeat:
             self._started = now
             self._first_done = done
         final = done >= total
+        if final and self._final_emitted:
+            return  # the terminal line already printed (merge + finish paths)
         if not final and self._last_emit is not None \
                 and now - self._last_emit < self.interval_s:
             return
+        self._emit(done, total, now, final)
+
+    def finish(self, done, total):
+        """Force the terminal line if no ``done >= total`` tick emitted it.
+
+        Executors call this once per run: a campaign that completes short
+        of ``total`` (quarantined chunks, drained interrupt) never fires
+        the rate-limit bypass above, and without this its last — often
+        only — line would be silently suppressed.
+        """
+        if self._final_emitted:
+            return
+        now = self.clock()
+        if self._started is None:
+            self._started = now
+            self._first_done = done
+        self._emit(done, total, now, True)
+
+    def _emit(self, done, total, now, final):
         self._last_emit = now
         elapsed = now - self._started
         rate = (done - self._first_done) / elapsed if elapsed > 0 else 0.0
+        if not math.isfinite(rate) or rate < 0:
+            rate = 0.0
+        eta = None
+        if rate > 0 and not final:
+            eta = (total - done) / rate
+            if not math.isfinite(eta) or eta < 0:
+                eta = 0.0
         parts = [f"[campaign] {done}/{total} injections"]
         if rate > 0:
             parts.append(f"{rate:.1f} inj/s")
-            if not final:
-                parts.append(f"eta {(total - done) / rate:.1f}s")
+            if eta is not None:
+                parts.append(f"eta {eta:.1f}s")
         hit_rate = self._cache_hit_rate()
         if hit_rate is not None:
             parts.append(f"cache hit {hit_rate:.0%}")
         if final:
             parts.append("done")
+            self._final_emitted = True
         print(" | ".join(parts), file=self.stream, flush=True)
         self.ticks += 1
+        bus = self._bus()
+        if bus is not None:
+            bus.publish("heartbeat", "tick", {
+                "done": int(done),
+                "total": int(total),
+                "rate": float(rate),
+                "eta_s": float(eta) if eta is not None else None,
+                "cache_hit_rate": float(hit_rate) if hit_rate is not None else None,
+                "final": bool(final),
+            })
 
 
 def coerce_progress(progress, campaign):
@@ -81,3 +135,17 @@ def coerce_progress(progress, campaign):
     raise TypeError(
         f"progress must be a callable, a bool, or None; got {type(progress).__name__}"
     )
+
+
+def _finish_progress(progress, done, total):
+    """Fire a progress reporter's terminal update, if it has one.
+
+    Heartbeats expose :meth:`CampaignHeartbeat.finish`; plain callables
+    already received their last ``progress(done, total)`` call from the
+    executor and are left alone.
+    """
+    if progress is None:
+        return
+    finish = getattr(progress, "finish", None)
+    if callable(finish):
+        finish(done, total)

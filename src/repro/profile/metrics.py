@@ -106,6 +106,31 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+def _prometheus_name(name):
+    """Sanitise a metric name for the Prometheus exposition format.
+
+    Registry names use dots (``campaign.chunk_seconds``); Prometheus
+    names are ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so every other character
+    becomes an underscore and a leading digit gets one prepended.
+    """
+    sanitised = "".join(
+        ch if (ch.isascii() and ch.isalnum()) or ch in "_:" else "_"
+        for ch in name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prometheus_value(value):
+    """Format one sample value: integers bare, floats via repr, None → NaN."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create accessors and exact snapshotting."""
 
@@ -244,6 +269,43 @@ class MetricsRegistry:
             hist.min = entry["min"]
             hist.max = entry["max"]
         return registry
+
+    def to_prometheus_text(self):
+        """Render the registry in the Prometheus text exposition format.
+
+        One ``# HELP`` / ``# TYPE`` pair per metric; histograms expose the
+        conventional ``_bucket`` (with *cumulative* counts and a closing
+        ``le="+Inf"``), ``_sum``, and ``_count`` series.  The numbers are
+        exactly the ones ``snapshot()`` reports — only the rendering (and
+        the per-bucket → cumulative conversion) differs, so the exporter
+        round-trips against the snapshot.
+        """
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            pname = _prometheus_name(name)
+            help_text = " ".join((metric.help or "").split())
+            if help_text:
+                lines.append(f"# HELP {pname} {help_text}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_prometheus_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_prometheus_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{pname}_bucket{{le="{_prometheus_value(bound)}"}} '
+                        f"{cumulative}")
+                cumulative += metric.counts[-1]
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{pname}_sum {_prometheus_value(metric.sum)}")
+                lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def __repr__(self):
         return f"MetricsRegistry({len(self._metrics)} metrics)"

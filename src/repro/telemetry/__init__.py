@@ -1,0 +1,54 @@
+"""repro.telemetry — unified live telemetry: bus, stream server, flight recorder.
+
+One campaign, one :class:`TelemetryBus`, one envelope schema
+(:data:`ENVELOPE_SCHEMA`).  Producers across the codebase (campaign
+runner, parallel executor, recovery journal, observe tracer, heartbeat,
+scenario engine) publish; consumers (:class:`TelemetryServer`,
+:class:`TelemetrySampler`, :class:`FlightRecorder`, ``repro top``)
+subscribe.  Publishing never blocks and never perturbs the science —
+see ``bus.py`` for the invariants.
+"""
+
+from .bus import (
+    DEFAULT_QUEUE_LEN,
+    ENVELOPE_SCHEMA,
+    SOURCES,
+    Subscription,
+    TelemetryBus,
+    WorkerTelemetryRelay,
+    coerce_bus,
+    make_envelope,
+)
+from .recorder import DEFAULT_CAPACITY, FLIGHT_SCHEMA, FlightRecorder, load_flight_dump
+from .server import (
+    DEFAULT_MAX_CLIENT_BUFFER,
+    TelemetrySampler,
+    TelemetryServer,
+    parse_address,
+    read_rss_kb,
+)
+from .top import NdjsonDecoder, TopAggregator, render, run_top
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_MAX_CLIENT_BUFFER",
+    "DEFAULT_QUEUE_LEN",
+    "ENVELOPE_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "NdjsonDecoder",
+    "SOURCES",
+    "Subscription",
+    "TelemetryBus",
+    "TelemetrySampler",
+    "TelemetryServer",
+    "TopAggregator",
+    "WorkerTelemetryRelay",
+    "coerce_bus",
+    "load_flight_dump",
+    "make_envelope",
+    "parse_address",
+    "read_rss_kb",
+    "render",
+    "run_top",
+]

@@ -1,0 +1,107 @@
+"""Crash-survivable flight recorder: the campaign's post-mortem black box.
+
+A :class:`FlightRecorder` rides the telemetry bus as an always-on
+consumer holding the last ``capacity`` envelopes in a ring buffer (old
+events overwrite, with an honest ``overwritten`` tally).  When a run
+ends badly — SIGINT/SIGTERM, a fleet-exhausted executor, a quarantined
+chunk, an unhandled exception — the ring is dumped as one
+schema-versioned JSON file (:data:`FLIGHT_SCHEMA`) into the journal
+directory, so the operator holds the final seconds of bus traffic even
+when no live client was attached.
+
+Dump triggers live where the failures are detected (the campaign
+runner's exception path, the parallel executor's fleet-exhausted and
+quarantine paths); the recorder itself is passive and never blocks the
+publish path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+FLIGHT_SCHEMA = "repro.telemetry.flight/1"
+
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Ring buffer of the last N telemetry envelopes, dumpable on demand."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, out_dir=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.run_id = None  # set when attached to a TelemetryBus
+        self.overwritten = 0
+        self.dumps = []  # paths written, in dump order
+        self._ring = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record(self, envelope):
+        """Append one envelope; the oldest is overwritten when full."""
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.overwritten += 1
+            self._ring.append(envelope)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._ring)
+
+    def dump(self, reason, out_dir=None):
+        """Write the ring as one schema-versioned JSON file; returns its path.
+
+        ``out_dir`` overrides the recorder's configured directory (the
+        runner passes the journal directory when one exists); the current
+        directory is the last resort.  The filename embeds the run ID and
+        the reason, so one process's interrupt dump never clobbers its
+        earlier quarantine dump.
+        """
+        directory = Path(out_dir) if out_dir is not None else self.out_dir
+        if directory is None:
+            directory = Path(".")
+        directory.mkdir(parents=True, exist_ok=True)
+        run = self.run_id if self.run_id is not None else "unbound"
+        path = directory / f"flight_{run}_{reason}.json"
+        events = self.snapshot()
+        payload = {
+            "schema": FLIGHT_SCHEMA,
+            "run": run,
+            "reason": reason,
+            "dumped_at_wall": time.time(),
+            "capacity": self.capacity,
+            "captured": len(events),
+            "overwritten": int(self.overwritten),
+            "events": events,
+        }
+        path.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        self.dumps.append(path)
+        return path
+
+    @property
+    def last_dump(self):
+        return self.dumps[-1] if self.dumps else None
+
+    def __repr__(self):
+        return (f"FlightRecorder({len(self)}/{self.capacity} events, "
+                f"{len(self.dumps)} dump(s))")
+
+
+def load_flight_dump(path):
+    """Read a flight-recorder dump back; validates the schema tag."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path} is not a flight-recorder dump "
+            f"(schema {payload.get('schema')!r}, expected {FLIGHT_SCHEMA})")
+    return payload

@@ -547,7 +547,7 @@ class TestInterruptAndResume:
         assert rc == -signal.SIGKILL
         assert _science(resumed) == _science(undisturbed)
 
-    def test_degraded_campaign_exits_rc3(self, monkeypatch, capsys):
+    def test_degraded_campaign_exits_rc3(self, monkeypatch, capsys, tmp_path):
         # A campaign that completes only by quarantining a chunk exits 3
         # and reports the recovery ledger in its --json record.
         from repro import cli
@@ -565,7 +565,10 @@ class TestInterruptAndResume:
         monkeypatch.setattr(InjectionCampaign, "_execute_chunk", poisoned)
         with pytest.warns(RuntimeWarning, match="quarantined"):
             rc = cli.main(["inject", "alexnet", "--scale", "smoke",
-                           "--campaign", "48", "--workers", "2", "--json"])
+                           "--campaign", "48", "--workers", "2", "--json",
+                           "--out-dir", str(tmp_path)])
+        # The quarantine's flight dump lands in --out-dir, not the repo.
+        assert list(tmp_path.glob("flight_*_quarantine.json"))
         record = json.loads(capsys.readouterr().out)
         assert rc == 3
         assert record["degraded"] is True
