@@ -1,0 +1,116 @@
+"""Lane-packed campaign throughput — packed lanes vs the serial oracle.
+
+Runs the same fixed-seed weight-fault campaign on resnet18 twice: once
+lane-packed (up to 8 compatible sites share each batched forward) and
+once with ``lane_packing=False`` (the one-injection-per-forward oracle).
+Asserts the packed run is >= 2x injections/sec while producing identical
+corruption outcomes, per-layer tallies, and RNG stream, then writes a
+JSON record of both runs to ``results/batched_campaign.json``.
+
+Weight faults are the headline case: every weight site is
+lane-compatible with every other, so a width-8 plan runs 8x fewer
+forwards.  A neuron run (packed by truncation segment, so occupancy
+depends on where the plan's sites land) is recorded alongside for the
+curve, without a speedup floor of its own.
+"""
+
+import json
+from pathlib import Path
+
+from repro import models
+from repro.campaign import InjectionCampaign
+from repro.core import SingleBitFlip, StuckAt
+from repro.data import SyntheticClassification
+from repro.tensor import Tensor, no_grad
+
+from .conftest import run_once
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "batched_campaign.json"
+N_INJECTIONS = 128
+LANE_WIDTH = 8
+SPEEDUP_FLOOR = 2.0
+
+
+class _SelfLabelled:
+    """Labels inputs with the model's own clean argmax (100% pool accuracy)."""
+
+    def __init__(self, model, base):
+        self.model = model
+        self.base = base
+
+    @property
+    def input_shape(self):
+        return self.base.input_shape
+
+    def sample(self, n, rng=None, labels=None):
+        images, _ = self.base.sample(n, rng=rng)
+        with no_grad():
+            preds = self.model(Tensor(images)).data.argmax(axis=1)
+        return images, preds
+
+
+def _run_campaign(net, dataset, target, lane_packing):
+    error_model = StuckAt(1e20) if target == "weight" else SingleBitFlip()
+    campaign = InjectionCampaign(
+        net, dataset, error_model=error_model, batch_size=LANE_WIDTH,
+        pool_size=32, rng=7, target=target, lane_packing=lane_packing)
+    result = campaign.run(N_INJECTIONS)
+    record = campaign.perf.as_dict()
+    record["target"] = target
+    record["lane_packing"] = lane_packing
+    record["corruptions"] = result.corruptions
+    record["per_layer_injections"] = result.per_layer_injections.tolist()
+    record["per_layer_corruptions"] = result.per_layer_corruptions.tolist()
+    record["rng_matches"] = campaign.rng.bit_generator.state
+    return record
+
+
+def _measure():
+    net = models.get_model("resnet18", "cifar10", scale="smoke", rng=0)
+    net.eval()
+    dataset = _SelfLabelled(
+        net, SyntheticClassification(num_classes=10, image_size=32, seed=5))
+    records = []
+    for target in ("weight", "neuron"):
+        pair = {}
+        for lane_packing in (True, False):
+            pair[lane_packing] = _run_campaign(net, dataset, target, lane_packing)
+        pair[True]["speedup"] = (
+            pair[True]["injections_per_sec"] / pair[False]["injections_per_sec"])
+        records.append(pair)
+    return records
+
+
+def test_lane_packing_speedup_and_equivalence(benchmark):
+    records = run_once(benchmark, _measure)
+    for pair in records:
+        packed, oracle = pair[True], pair[False]
+        # Packing must not change the science: identical discrete outcomes
+        # and an identical generator stream.
+        assert packed["corruptions"] == oracle["corruptions"]
+        assert packed["per_layer_injections"] == oracle["per_layer_injections"]
+        assert packed["per_layer_corruptions"] == oracle["per_layer_corruptions"]
+        assert packed["rng_matches"] == oracle["rng_matches"]
+        assert oracle["forwards"] == N_INJECTIONS
+        assert (packed["forwards"] + packed["forwards_saved"]
+                == oracle["forwards"])
+        if packed["target"] == "weight":
+            assert packed["forwards"] == N_INJECTIONS // LANE_WIDTH
+            assert packed["mean_lane_occupancy"] == LANE_WIDTH
+            assert packed["speedup"] >= SPEEDUP_FLOOR, (
+                f"weight: {packed['speedup']:.2f}x < {SPEEDUP_FLOOR}x "
+                f"({packed['injections_per_sec']:.0f} vs "
+                f"{oracle['injections_per_sec']:.0f} inj/s)")
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "model": "resnet18",
+        "scale": "smoke",
+        "n_injections": N_INJECTIONS,
+        "lane_width": LANE_WIDTH,
+        "runs": [
+            {k: v for k, v in pair[lane_packing].items() if k != "rng_matches"}
+            for pair in records for lane_packing in (True, False)
+        ],
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -77,8 +77,8 @@ _POLL_TIMEOUT_S = 1.0
 
 #: Chunk-payload keys that belong in a journal record (observe events and
 #: other bulky telemetry stay out of the journal).
-_JOURNAL_KEYS = ("layer", "positions", "injections", "corruptions", "perf",
-                 "trace_events")
+_JOURNAL_KEYS = ("layer", "positions", "injections", "corruptions", "tallies",
+                 "perf", "trace_events")
 
 
 def partition_chunks(chunks, workers):
@@ -707,12 +707,17 @@ class ParallelCampaignExecutor:
             if handle.proc.is_alive() and not handle.finished:
                 handle.queue.put(None)
         deadline = time.monotonic() + _JOIN_TIMEOUT_S
-        while (any(not h.finished and h.proc.is_alive()
-                   for h in state.workers.values())
+        while (any(not h.finished for h in state.workers.values())
                and time.monotonic() < deadline):
             try:
                 msg = out_queue.get(timeout=_POLL_TIMEOUT_S)
             except queue_mod.Empty:
+                # A worker's exit report can still be in the queue after its
+                # process has died; give up on it only once the queue has
+                # gone quiet and no unfinished worker remains alive.
+                if not any(not h.finished and h.proc.is_alive()
+                           for h in state.workers.values()):
+                    break
                 continue
             kind, wid = msg[0], msg[1]
             if kind == "done":
@@ -940,8 +945,8 @@ class _FleetState:
         self.clean_captures += payload.get("clean_captures", 0)
 
     def _fold_tallies(self, record):
-        self.per_layer_inj[record["layer"]] += record["injections"]
-        self.per_layer_cor[record["layer"]] += record["corruptions"]
+        recovery_mod.fold_chunk_tallies(record, self.per_layer_inj,
+                                        self.per_layer_cor)
         self.corrupted_total += record["corruptions"]
         self.completed_injections += record["injections"]
         recovery_mod.apply_chunk_perf(self.campaign, record["perf"])

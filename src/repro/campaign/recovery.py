@@ -51,7 +51,7 @@ JOURNAL_SCHEMA_VERSION = 1
 #: into ``campaign.perf`` (they accumulate during chunk execution); the
 #: rest are engine/cache deltas folded through ``campaign._parallel_deltas``
 #: exactly like a parallel worker's report.
-_DIRECT_PERF_KEYS = ("forwards", "resumed_forwards",
+_DIRECT_PERF_KEYS = ("forwards", "forwards_saved", "resumed_forwards",
                      "layer_forwards_executed", "layer_forwards_skipped")
 _DELTA_PERF_KEYS = ("capture_forwards", "cache_hits", "cache_misses",
                     "cache_evictions", "cache_bytes")
@@ -145,11 +145,17 @@ def plan_fingerprint(campaign, n_injections, plan):
         # Persistent faults change every outcome; a journal written under
         # one resident set must not resume a run under another.
         "resident": resident.fingerprint if resident is not None else None,
+        "lane_packing": bool(getattr(campaign, "lane_packing", True)),
     }, sort_keys=True).encode())
     h.update(np.ascontiguousarray(np.asarray(pool_idx, dtype=np.int64)).tobytes())
     h.update(np.ascontiguousarray(np.asarray(layers, dtype=np.int64)).tobytes())
     h.update(json.dumps([[int(c) for c in cs] for cs in coords]).encode())
     h.update(np.ascontiguousarray(np.asarray(seeds, dtype=np.int64)).tobytes())
+    # Chunk ids index the lane-packed chunk layout, so the layout itself is
+    # part of the plan: a journal written under a different packing (lane
+    # grouping rules, batch size, packing toggled) must not resume this run.
+    h.update(json.dumps(
+        campaign._chunks(np.asarray(layers), int(n_injections))).encode())
     return h.hexdigest()
 
 
@@ -167,7 +173,7 @@ def perf_snapshot(campaign):
                cache.evictions, cache.bytes_used)
     else:
         eng = (0, 0, 0, 0, 0)
-    return (perf.forwards, perf.resumed_forwards,
+    return (perf.forwards, perf.forwards_saved, perf.resumed_forwards,
             perf.layer_forwards_executed, perf.layer_forwards_skipped) + eng
 
 
@@ -192,6 +198,24 @@ def apply_chunk_perf(campaign, perf):
     d = campaign._parallel_deltas
     for key in _DELTA_PERF_KEYS:
         setattr(d, key, getattr(d, key) + int(perf.get(key, 0)))
+
+
+def fold_chunk_tallies(record, per_layer_inj, per_layer_cor):
+    """Fold one chunk record's per-layer tallies into the given arrays.
+
+    Lane-packed chunks may mix layers, so records carry per-position
+    ``tallies`` — ``[layer, corrupted]`` pairs in batch-lane order.
+    Single-layer records without them (the scalar ``layer`` field) still
+    fold, so older journal records stay readable.
+    """
+    tallies = record.get("tallies")
+    if tallies:
+        for layer, corrupted in tallies:
+            per_layer_inj[int(layer)] += 1
+            per_layer_cor[int(layer)] += int(corrupted)
+    elif record.get("layer") is not None:
+        per_layer_inj[record["layer"]] += record["injections"]
+        per_layer_cor[record["layer"]] += record["corruptions"]
 
 
 # ---------------------------------------------------------------------- #

@@ -40,9 +40,13 @@ Two pieces live here:
     completed before ``k`` ran, so ``j``'s inputs cannot depend on the
     injected value.
 
-Models whose trace cannot anchor the profiled layer order, and weight-site
-campaigns, never construct a usable engine; callers fall back to full
-forwards.
+Lane-packed weight campaigns replay the same way: the lane hooks keep the
+weight tensors clean through the forward (per-row faulted outputs splice in
+at hook time), so every cached prefix activation stays valid and the
+chunk's shallowest site is the truncation point.  Only unpacked weight
+campaigns — which rewrite the weight tensor for the whole forward — and
+models whose trace cannot anchor the profiled layer order fall back to
+full forwards.
 """
 
 from __future__ import annotations

@@ -6,13 +6,16 @@ and score each element against a corruption criterion.  Results aggregate
 into overall and per-layer corruption rates with confidence intervals —
 the quantities behind Fig. 4 and Fig. 6.
 
-Execution is *planned upfront and grouped by target layer*: every random
-draw (input choice, site location, per-site error-model seed) happens
-before any forward runs, then same-layer sites share a batch.  Grouping
-lets the whole batch resume from one cached checkpoint (see
+Execution is *planned upfront and lane-packed*: every random draw (input
+choice, site location, per-site error-model seed) happens before any
+forward runs, then compatible sites share a batched forward with one
+batch lane each — neuron sites that share a resume truncation point,
+weight sites in any mix (per-lane weight deltas).  Grouping lets the
+whole batch resume from one cached checkpoint (see
 :mod:`repro.campaign.resume`), and pre-drawn per-site generators make the
 campaign's statistics independent of execution order — a fixed seed yields
-bit-identical results whether the resume fast path is on or off.
+bit-identical results whether the resume fast path is on or off, and
+whether lanes are packed or not.
 """
 
 from __future__ import annotations
@@ -100,8 +103,9 @@ class InjectionCampaign:
         How many candidate inputs to pre-screen for clean correctness.
     target:
         ``"neuron"`` (runtime output perturbations, the default) or
-        ``"weight"`` (offline weight rewrites; always full forwards, one
-        site per forward, since weights are shared across a batch).
+        ``"weight"`` (weight rewrites; lane packing confines each fault
+        to its own batch row, so weight campaigns batch sites per forward
+        just like neuron campaigns).
     strategy:
         Site-sampling strategy: ``"proportional"`` over all elements or
         ``"uniform_layer"``.
@@ -109,6 +113,15 @@ class InjectionCampaign:
         Enable the checkpoint-and-resume fast path when the model traces
         to a segment chain.  Falls back transparently (weight campaigns,
         non-chain models) — results are bit-identical either way.
+    lane_packing:
+        Pack compatible injection sites into the batch lanes of shared
+        forwards (the default).  Weight faults pack freely via per-lane
+        weight deltas; neuron faults pack when they share a truncation
+        point (the same segment of the traced chain), or per layer on
+        non-chain models.  ``False`` runs one injection per forward —
+        the serial oracle lane-packed runs are verified against.
+        Outcomes, per-layer tallies, and the RNG stream are identical
+        either way; only forward count (and wall clock) changes.
     resume_budget_bytes:
         Memory budget for the activation checkpoint cache.
     profiler:
@@ -125,7 +138,7 @@ class InjectionCampaign:
                  input_shape=None, quantization=None, layer=None, pool_size=256,
                  network_name="model", rng=None, target="neuron", strategy="proportional",
                  resume=True, resume_budget_bytes=DEFAULT_BUDGET_BYTES, profiler=None,
-                 layers=None, channels=None):
+                 layers=None, channels=None, lane_packing=True):
         if target not in ("neuron", "weight"):
             raise ValueError(f"target must be 'neuron' or 'weight', got {target!r}")
         self.dataset = dataset
@@ -158,13 +171,33 @@ class InjectionCampaign:
         self._work_model.eval()
         self.fi = FaultInjection(self._work_model, batch_size=batch_size,
                                  input_shape=shape, rng=self.rng)
+        self.lane_packing = bool(lane_packing)
         self._resume = None
-        if resume and target == "neuron":
+        # Weight campaigns can resume only when lane-packed: lane hooks
+        # splice per-row faulted outputs while the weights themselves stay
+        # clean through the forward, so cached prefix activations remain
+        # valid.  The unpacked oracle rewrites the weight tensor for the
+        # whole forward and must replay nothing.
+        if resume and (target == "neuron"
+                       or (target == "weight" and self.lane_packing)):
             engine = CampaignResumeEngine(self.fi, resume_budget_bytes)
             if engine.available:
                 engine.profiler = self.profiler
                 self._resume = engine
         self.perf.resume_enabled = self._resume is not None
+        # Lane-compatibility groups for neuron sites: the segment index of
+        # each instrumentable layer when the model traces to a chain (sites
+        # sharing a segment share a resume truncation point), else None
+        # (pack per layer).  Computed regardless of the resume flag so the
+        # chunk layout — and with it every batch composition — is identical
+        # with resume on and off.
+        self._lane_groups = None
+        if self.lane_packing and target == "neuron":
+            seg = (self._resume.segmented if self._resume is not None
+                   else self.fi.segmented())
+            if seg is not None and seg.is_chain:
+                modules = [m for _, m in self.fi._iter_instrumentable(self._work_model)]
+                self._lane_groups = [seg.segment_of(m) for m in modules]
         # Resident (persistent) weight faults — see repro.scenario.  The
         # active set lives here for the duration of one run() so nested
         # dispatches (parallel fallback) and the journal fingerprint see
@@ -243,18 +276,35 @@ class InjectionCampaign:
         return pool_idx, layers, coords, seeds
 
     def _chunks(self, layers, n):
-        """Group plan positions into same-layer batches of ``batch_size``.
+        """Group plan positions into lane-compatible batches of ``batch_size``.
 
-        Weight campaigns get one site per forward: weights are shared by
-        the whole batch, so batching sites would stack faults.
+        With lane packing off, every position runs alone — the serial
+        one-injection-per-forward oracle.  With it on, compatible sites
+        share a forward, one batch lane each:
+
+        * weight faults are all mutually compatible (any mix of layers) —
+          each lane re-runs just its row through its faulted layer with a
+          per-lane weight delta, so faults never stack across lanes;
+        * neuron faults pack when they share a truncation point (the same
+          segment of the traced chain), so one cached checkpoint replays
+          the whole lane group; non-chain models pack per layer.
+
+        Positions are laid out in stable layer-sorted order, so a site's
+        batch lane — and every outcome — is a pure function of the plan.
         """
-        if self.target == "weight":
+        if not self.lane_packing:
             return [[p] for p in range(n)]
+        if self.target == "weight":
+            keys = np.zeros(n, dtype=np.int64)
+        elif self._lane_groups is not None:
+            keys = np.asarray([self._lane_groups[int(l)] for l in layers])
+        else:
+            keys = np.asarray(layers)
         batch = self.fi.batch_size
         chunks = []
         current = []
         for p in np.argsort(layers, kind="stable"):
-            if current and (layers[p] != layers[current[0]] or len(current) == batch):
+            if current and (keys[p] != keys[current[0]] or len(current) == batch):
                 chunks.append(current)
                 current = []
             current.append(int(p))
@@ -266,18 +316,24 @@ class InjectionCampaign:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def _execute_chunk(self, layer_idx, positions, pool_idx, coords, seeds, observer=None):
-        """Run one instrumented forward for same-layer plan ``positions``.
+    def _execute_chunk(self, layer_idx, positions, pool_idx, coords, seeds,
+                       observer=None, layers=None):
+        """Run one instrumented forward for one lane-compatible chunk.
 
-        Returns ``(logits, resumed)``.  The resume plan (including any
-        cache refills, which need clean forwards) is assembled *before*
-        the model is instrumented, and so are the observer's clean
-        reference activations — its graceful-degradation capture forward
-        must run on the uninstrumented model.
+        ``layer_idx`` is the chunk's *base* layer (its shallowest site —
+        the resume truncation point); ``layers`` carries each position's
+        own layer for mixed-layer lane groups, and defaults to every site
+        sitting at the base layer.  Returns ``(logits, resumed)``.  The
+        resume plan (including any cache refills, which need clean
+        forwards) is assembled *before* the model is instrumented, and so
+        are the observer's clean reference activations — its
+        graceful-degradation capture forward must run on the
+        uninstrumented model.
         """
         idx = pool_idx[positions]
         prof = self.profiler
-        quant = _quant_for_layer(self.quantization, layer_idx)
+        site_layers = ([int(layers[p]) for p in positions] if layers is not None
+                       else [int(layer_idx)] * len(positions))
         resume_plan = None
         if self._resume is not None:
             resume_plan = self._resume.plan_chunk(layer_idx, list(idx), self.pool_images)
@@ -288,15 +344,21 @@ class InjectionCampaign:
                                        self.pool_images[idx])
         if self.target == "weight":
             sites = [
-                WeightSite(layer=layer_idx, coords=coords[p], error_model=self.error_model,
-                           quantization=quant, rng=np.random.default_rng(int(seeds[p])))
-                for p in positions
+                WeightSite(layer=site_layers[b], coords=coords[p],
+                           error_model=self.error_model,
+                           quantization=_quant_for_layer(self.quantization,
+                                                         site_layers[b]),
+                           rng=np.random.default_rng(int(seeds[p])),
+                           batch=b if self.lane_packing else -1)
+                for b, p in enumerate(positions)
             ]
             model = self.fi.instrument(weight_sites=sites, clone=False)
         else:
             sites = [
-                NeuronSite(layer=layer_idx, batch=b, coords=coords[p],
-                           error_model=self.error_model, quantization=quant,
+                NeuronSite(layer=site_layers[b], batch=b, coords=coords[p],
+                           error_model=self.error_model,
+                           quantization=_quant_for_layer(self.quantization,
+                                                         site_layers[b]),
                            rng=np.random.default_rng(int(seeds[p])))
                 for b, p in enumerate(positions)
             ]
@@ -377,7 +439,8 @@ class InjectionCampaign:
                            injections=len(positions)) as chunk_span:
                 chunk_started = time.perf_counter()
                 logits, resumed = self._execute_chunk(
-                    layer_idx, positions, pool_idx, coords, seeds, observer=observer)
+                    layer_idx, positions, pool_idx, coords, seeds,
+                    observer=observer, layers=layers)
                 chunk_elapsed = time.perf_counter() - chunk_started
                 chunk_span.annotate(resumed=resumed)
                 if cache_before is not None:
@@ -388,19 +451,20 @@ class InjectionCampaign:
             if chunk_hist is not None:
                 chunk_hist.observe(chunk_elapsed)
             self.perf.forwards += 1
+            self.perf.forwards_saved += len(positions) - 1
             self.perf.resumed_forwards += int(resumed)
             flags = self.criterion(logits, self.pool_labels[idx], self.pool_logits[idx])
             if events is not None:
                 margins_before = margin(self.pool_logits[idx], self.pool_labels[idx])
                 margins_after = margin(logits, self.pool_labels[idx])
             for b, p in enumerate(positions):
-                per_layer_inj[layer_idx] += 1
+                per_layer_inj[int(layers[p])] += 1
                 if flags[b]:
-                    per_layer_cor[layer_idx] += 1
+                    per_layer_cor[int(layers[p])] += 1
                     corrupted_total += 1
                 if events is not None:
                     events[p] = dict(
-                        layer=layer_idx,
+                        layer=int(layers[p]),
                         coords=coords[p],
                         batch_slot=b,
                         label=int(self.pool_labels[idx][b]),
@@ -415,6 +479,7 @@ class InjectionCampaign:
                     observer.record_chunk(
                         positions=positions,
                         layer_idx=layer_idx,
+                        layers=[int(layers[p]) for p in positions],
                         pool_indices=[int(i) for i in idx],
                         coords=[coords[p] for p in positions],
                         seeds=[int(seeds[p]) for p in positions],
@@ -430,6 +495,7 @@ class InjectionCampaign:
                     "chunk": int(chunk_ids[ci]) if chunk_ids is not None else ci,
                     "layer": layer_idx,
                     "injections": len(positions),
+                    "lanes": len(positions),
                     "corruptions": int(corrupted_total - corrupted_before),
                     "resumed": bool(resumed),
                     "elapsed_s": float(chunk_elapsed),
@@ -440,6 +506,10 @@ class InjectionCampaign:
                     "positions": [int(p) for p in positions],
                     "injections": len(positions),
                     "corruptions": int(corrupted_total - corrupted_before),
+                    # Per-lane [layer, corrupted] pairs: lane-packed chunks
+                    # may mix layers, so per-layer tallies fold from these.
+                    "tallies": [[int(layers[p]), int(bool(flags[b]))]
+                                for b, p in enumerate(positions)],
                     "perf": recovery_mod.perf_delta(self, perf_before),
                 }
                 if events is not None:
@@ -703,8 +773,8 @@ class InjectionCampaign:
             per_layer_cor = np.zeros(self.fi.num_layers, dtype=np.int64)
             corrupted_total = 0
             for record in completed.values():
-                per_layer_inj[record["layer"]] += record["injections"]
-                per_layer_cor[record["layer"]] += record["corruptions"]
+                recovery_mod.fold_chunk_tallies(record, per_layer_inj,
+                                                per_layer_cor)
                 corrupted_total += record["corruptions"]
                 recovery_mod.apply_chunk_perf(self, record["perf"])
                 if events is not None:

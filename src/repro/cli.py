@@ -292,7 +292,8 @@ def _inject_campaign(args):
     campaign = InjectionCampaign(
         net, dataset, batch_size=args.batch_size,
         pool_size=max(32, 2 * args.batch_size), rng=args.seed,
-        layer=args.layer, network_name=args.model)
+        layer=args.layer, network_name=args.model,
+        lane_packing=not getattr(args, "no_lane_packing", False))
     if args.layer is not None and not 0 <= args.layer < campaign.fi.num_layers:
         return _inject_fail(
             args,
@@ -369,6 +370,12 @@ def _inject_campaign(args):
             "quarantined_chunks": int(quarantined),
             "degraded": degraded,
             "journal": args.journal,
+            "lane_packing": campaign.lane_packing,
+            "lanes": float(campaign.perf.mean_lane_occupancy),
+            "forwards_saved": int(campaign.perf.forwards_saved),
+            "injections_per_forward": (
+                result.injections / campaign.perf.forwards
+                if campaign.perf.forwards else 0.0),
             "perf": campaign.perf.as_dict(),
             "telemetry": _telemetry_block(bus, server),
         }, sort_keys=True))
@@ -502,6 +509,8 @@ def _run_scenario_command(args, source, model_override=None):
         config = load_scenario(source)
         if model_override is not None:
             config.model.name = model_override
+        if getattr(args, "no_lane_packing", False):
+            config.campaign.lane_packing = False
         compiled = compile_scenario(config)
     except ScenarioError as exc:
         return _scenario_fail(args, str(exc))
@@ -665,6 +674,10 @@ def build_parser():
             p.add_argument("--out-dir", default="results",
                            help="directory for scenario sweep artifacts "
                                 "(with --scenario; default: results)")
+            p.add_argument("--no-lane-packing", action="store_true",
+                           help="run one injection per forward (the serial "
+                                "oracle) instead of packing compatible sites "
+                                "into batch lanes")
         else:
             p.add_argument("--model", dest="model_flag", default=None, metavar="NAME",
                            help="runtime-profile this model and write Chrome-trace "
@@ -714,6 +727,10 @@ def build_parser():
     scen_run_parser.add_argument("--out-dir", default="results",
                                  help="directory for sweep artifacts "
                                       "(default: results)")
+    scen_run_parser.add_argument("--no-lane-packing", action="store_true",
+                                 help="run one injection per forward (the "
+                                      "serial oracle) regardless of the "
+                                      "scenario's campaign.lane_packing")
     scen_run_parser.add_argument("--json", action="store_true",
                                  help="emit one machine-readable JSON object; "
                                       "exit 0 clean / 2 unresolvable / "

@@ -19,9 +19,12 @@ Design notes (paper §III-A):
   hold the error-model's values.  Nothing in the model or the engine is
   patched, and layers without injections pay only one dict lookup — the
   source of the near-zero overhead shown in Fig. 3.
-* **Weight** perturbations are *offline*: the weight tensor is rewritten
-  before inference (and restorable afterwards), so they cost nothing at
-  runtime.
+* **Weight** perturbations are *offline* by default: the weight tensor is
+  rewritten before inference (and restorable afterwards), so they cost
+  nothing at runtime.  A :class:`WeightSite` with ``batch >= 0`` instead
+  confines the fault to one batch lane at runtime (a forward hook re-runs
+  that row through the layer with the perturbed weight), which lets a
+  batched forward carry many independent weight faults.
 * At construction the engine runs a single dummy inference to profile every
   instrumentable layer's output geometry, which is used to validate
   user-supplied locations and to sample random ones.
@@ -86,13 +89,23 @@ class NeuronSite:
 
 @dataclass
 class WeightSite:
-    """One declared weight injection site."""
+    """One declared weight injection site.
+
+    ``batch = -1`` (the default) rewrites the shared weight offline, so
+    the fault affects every element of the batch.  ``batch >= 0`` selects
+    the lane-packed runtime path instead: the fault is confined to that
+    one batch row, realised by re-running the row alone through the
+    layer's kernel with the perturbed weight (bitwise-restored after) —
+    which is what lets many independent weight faults share one batched
+    forward.
+    """
 
     layer: int
     coords: tuple  # full index into the weight tensor
     error_model: object
     quantization: object = None
     rng: object = None
+    batch: int = -1
 
 
 @dataclass
@@ -410,6 +423,19 @@ class FaultInjection:
         by_layer = {}
         for site in neuron_sites:
             by_layer.setdefault(site.layer, []).append(site)
+        lanes_by_layer = {}
+        offline_sites = []
+        for site in weight_sites:
+            if getattr(site, "batch", -1) >= 0:
+                if site.batch >= self.batch_size:
+                    raise ValueError(
+                        f"weight-lane batch index {site.batch} out of range for "
+                        f"batch_size {self.batch_size} (use -1 for a whole-batch "
+                        f"offline rewrite)"
+                    )
+                lanes_by_layer.setdefault(site.layer, []).append(site)
+            else:
+                offline_sites.append(site)
 
         handles = []
         for layer_idx, layer_sites in by_layer.items():
@@ -418,9 +444,13 @@ class FaultInjection:
             # Prepended so observer hooks (repro.observe) registered at any
             # time still see the post-injection output of the target layer.
             handles.append(module.register_forward_hook(hook, prepend=True))
+        for layer_idx, layer_sites in lanes_by_layer.items():
+            module = modules[layer_idx]
+            hook = self._make_weight_lane_hook(layer_sites, self.layer(layer_idx))
+            handles.append(module.register_forward_hook(hook, prepend=True))
 
         snapshots = []
-        for site in weight_sites:
+        for site in offline_sites:
             module = modules[site.layer]
             weight = module.weight
             original = weight.data[site.coords]
@@ -435,6 +465,51 @@ class FaultInjection:
 
         self._corrupted.append((target, handles, snapshots))
         return target
+
+    def _make_weight_lane_hook(self, sites, layer_info):
+        """Realise per-lane (``batch >= 0``) weight faults on one layer.
+
+        When the hook fires, the module's batched output was computed with
+        the clean shared weight.  For each site the perturbed value is
+        computed exactly as the offline path computes it (same error-model
+        call, same RNG consumption); the site's batch row alone is then
+        re-run through the module's own kernel via ``forward_lanes`` —
+        never ``module(...)``, which would recursively re-fire this hook
+        and any observer hooks — with the weight perturbed and bitwise-
+        restored, and the resulting rows are spliced into the output.
+        Convolution rows are batch-size-invariant (each row is an
+        independent fixed-shape matmul over that row's data alone), so a
+        spliced row is bitwise the row a whole-batch forward under the
+        rewritten weight would have produced.  A site whose perturbed
+        value equals the original bitwise (e.g. an identity error model
+        evaluating resident faults) skips its re-run: the clean row
+        already is the answer.
+        """
+        engine_rng = self.rng
+
+        def hook(module, inputs, output):
+            weight = module.weight
+            lanes = []
+            for site in sites:
+                original = weight.data[site.coords]
+                ctx = InjectionContext(
+                    rng=site.rng if site.rng is not None else engine_rng,
+                    layer=layer_info, module=module,
+                    quantization=site.quantization,
+                )
+                new_value = site.error_model(
+                    np.asarray([original], dtype=weight.dtype), ctx)[0]
+                if (np.asarray(new_value, dtype=weight.dtype).tobytes()
+                        == np.asarray(original, dtype=weight.dtype).tobytes()):
+                    continue
+                lanes.append((site.batch, site.coords, new_value))
+            if not lanes:
+                return None
+            rows = module.forward_lanes(inputs[0], lanes)
+            index = (np.asarray([row for row, _, _ in lanes]),)
+            return output.inject_values(index, rows)
+
+        return hook
 
     def _make_neuron_hook(self, sites, layer_info):
         """Build the forward hook that realises ``sites`` on one layer.

@@ -192,6 +192,49 @@ def _conv2d_pointwise(x, weight, bias, w_mat, bias_vec, stride, groups, out_hw):
     return Tensor._from_op(_as_dtype(out, x.dtype), parents, backward, "conv2d", x.device)
 
 
+def conv2d_lanes(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1,
+                 lanes=()):
+    """Per-lane weight-perturbed conv rows (the lane-packing weight delta).
+
+    ``lanes`` is a sequence of ``(row, coords, value)`` triples.  For each
+    lane the weight entry at ``coords`` is set to ``value``, batch row
+    ``row`` alone is re-run through :func:`conv2d` — the *same* kernel the
+    batched forward used, so the row is bitwise the row a whole-batch
+    forward under the rewritten weight would produce — and the weight is
+    bitwise-restored before the next lane.  Returns the perturbed rows
+    stacked on a new leading axis.
+    """
+    rows = []
+    wd = weight.data
+    for row, coords, value in lanes:
+        original = wd[coords]
+        wd[coords] = value
+        try:
+            x_row = Tensor(np.ascontiguousarray(x.data[row : row + 1]),
+                           device=x.device)
+            rows.append(conv2d(x_row, weight, bias, stride=stride, padding=padding,
+                               dilation=dilation, groups=groups).data[0])
+        finally:
+            wd[coords] = original
+    return np.stack(rows)
+
+
+def linear_lanes(x, weight, bias=None, lanes=()):
+    """Per-lane weight-perturbed linear rows; see :func:`conv2d_lanes`."""
+    rows = []
+    wd = weight.data
+    for row, coords, value in lanes:
+        original = wd[coords]
+        wd[coords] = value
+        try:
+            x_row = Tensor(np.ascontiguousarray(x.data[row : row + 1]),
+                           device=x.device)
+            rows.append(linear(x_row, weight, bias).data[0])
+        finally:
+            wd[coords] = original
+    return np.stack(rows)
+
+
 def linear(x, weight, bias=None):
     """``y = x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``.
 

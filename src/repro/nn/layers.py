@@ -59,6 +59,25 @@ class Conv2d(Module):
             groups=self.groups,
         )
 
+    def forward_lanes(self, x, lanes):
+        """Raw per-lane weight-perturbed rows (no hooks fire).
+
+        Called *from inside* a forward hook realising lane-packed weight
+        faults — going through ``self(x)`` there would recursively re-fire
+        that hook (and any observer hooks), so this dispatches straight to
+        the kernel.  See :func:`repro.nn.functional.conv2d_lanes`.
+        """
+        return F.conv2d_lanes(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+            groups=self.groups,
+            lanes=lanes,
+        )
+
     def extra_repr(self):
         return (
             f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
@@ -84,6 +103,10 @@ class Linear(Module):
 
     def forward(self, x):
         return F.linear(x, self.weight, self.bias)
+
+    def forward_lanes(self, x, lanes):
+        """Raw per-lane weight-perturbed rows; see :meth:`Conv2d.forward_lanes`."""
+        return F.linear_lanes(x, self.weight, self.bias, lanes=lanes)
 
     def extra_repr(self):
         return f"in_features={self.in_features}, out_features={self.out_features}"

@@ -253,13 +253,18 @@ class PropagationTracer:
         self._chunk_clean = clean
 
     def record_chunk(self, *, positions, layer_idx, pool_indices, coords, seeds,
-                     labels, clean_predicted, logits, flags, resumed, latency_s):
+                     labels, clean_predicted, logits, flags, resumed, latency_s,
+                     layers=None):
         """Fold one executed chunk's activations into per-injection events.
 
         Consumes the activations collected under :meth:`observing` and the
         clean references from :meth:`prepare_chunk`; events are buffered by
-        plan position and written out in :meth:`finish`.
+        plan position and written out in :meth:`finish`.  ``layers`` names
+        each lane's own injection layer when a lane-packed chunk mixes
+        layers; it defaults to every lane sitting at ``layer_idx``.
         """
+        site_layers = (list(layers) if layers is not None
+                       else [layer_idx] * len(positions))
         perturbed = self._acts
         clean = self._chunk_clean or {}
         per_layer = []
@@ -293,7 +298,7 @@ class PropagationTracer:
                 outcome = OUTCOME_MASKED
             event = build_event(
                 index=p,
-                layer=layer_idx,
+                layer=site_layers[b],
                 coords=coords[b],
                 pool_index=pool_indices[b],
                 seed=seeds[b],
@@ -312,7 +317,7 @@ class PropagationTracer:
             if bus is not None:
                 bus.publish("observe", "injection", {
                     "index": int(p),
-                    "layer": int(layer_idx),
+                    "layer": int(site_layers[b]),
                     "outcome": outcome,
                     "corrupted": bool(flags[b]),
                     "predicted": int(argmax[b]),

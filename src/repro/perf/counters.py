@@ -20,6 +20,7 @@ class CampaignPerfCounters:
     injections: int = 0
     elapsed_seconds: float = 0.0
     forwards: int = 0  # perturbed forwards executed (chunks)
+    forwards_saved: int = 0  # forwards avoided by packing sites into lanes
     resumed_forwards: int = 0  # perturbed forwards that used a checkpoint
     capture_forwards: int = 0  # clean forwards run to (re)fill the cache
     layer_forwards_executed: int = 0
@@ -44,6 +45,18 @@ class CampaignPerfCounters:
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.injections / self.elapsed_seconds
+
+    @property
+    def forwards_run(self):
+        """Perturbed forwards actually executed (alias of ``forwards``)."""
+        return self.forwards
+
+    @property
+    def mean_lane_occupancy(self):
+        """Average injections realised per executed forward (1.0 = unpacked)."""
+        if self.forwards == 0:
+            return 0.0
+        return (self.forwards + self.forwards_saved) / self.forwards
 
     @property
     def cache_hit_rate(self):
@@ -85,6 +98,7 @@ class CampaignPerfCounters:
         self.injections += other.injections
         self.elapsed_seconds += other.elapsed_seconds
         self.forwards += other.forwards
+        self.forwards_saved += other.forwards_saved
         self.resumed_forwards += other.resumed_forwards
         self.capture_forwards += other.capture_forwards
         self.layer_forwards_executed += other.layer_forwards_executed
@@ -112,6 +126,7 @@ class CampaignPerfCounters:
             "injections": self.injections,
             "elapsed_seconds": self.elapsed_seconds,
             "forwards": self.forwards,
+            "forwards_saved": self.forwards_saved,
             "resumed_forwards": self.resumed_forwards,
             "capture_forwards": self.capture_forwards,
             "layer_forwards_executed": self.layer_forwards_executed,
@@ -129,6 +144,7 @@ class CampaignPerfCounters:
             registry.counter(f"{prefix}.{name}").set_floor(value)
         gauges = {
             "injections_per_sec": self.injections_per_sec,
+            "mean_lane_occupancy": self.mean_lane_occupancy,
             "cache_hit_rate": self.cache_hit_rate,
             "fraction_layer_forwards_skipped": self.fraction_layer_forwards_skipped,
             "cache_bytes": self.cache_bytes,
@@ -145,6 +161,8 @@ class CampaignPerfCounters:
             "elapsed_seconds": self.elapsed_seconds,
             "injections_per_sec": self.injections_per_sec,
             "forwards": self.forwards,
+            "forwards_saved": self.forwards_saved,
+            "mean_lane_occupancy": self.mean_lane_occupancy,
             "resumed_forwards": self.resumed_forwards,
             "capture_forwards": self.capture_forwards,
             "layer_forwards_executed": self.layer_forwards_executed,
@@ -167,6 +185,8 @@ class CampaignPerfCounters:
         return (
             f"CampaignPerfCounters({self.injections} injections in "
             f"{self.elapsed_seconds:.3f}s = {self.injections_per_sec:.1f}/s, "
+            f"lane occupancy {self.mean_lane_occupancy:.1f} "
+            f"({self.forwards_saved} forwards saved), "
             f"resumed {self.resumed_forwards}/{self.forwards} forwards, "
             f"skipped {self.fraction_layer_forwards_skipped:.0%} of layer "
             f"forwards, cache hit rate {self.cache_hit_rate:.0%})"

@@ -189,6 +189,7 @@ def compile_scenario(source):
             network_name=config.model.name,
             target=config.select.target,
             strategy=config.select.strategy,
+            lane_packing=config.campaign.lane_packing,
         )
     except ValueError as exc:
         raise ScenarioError(f"campaign: {exc}") from None

@@ -135,6 +135,7 @@ class CampaignConfig:
     pool_size: int = 64
     criterion: str = "top1"
     confidence: float = 0.99
+    lane_packing: bool = True
 
 
 @dataclass
@@ -254,13 +255,15 @@ def _parse_model(raw, path):
 
 def _parse_campaign(raw, path):
     raw = _expect_mapping(raw, path)
-    _unknown_keys(raw, {"batch_size", "pool_size", "criterion", "confidence"}, path)
+    _unknown_keys(raw, {"batch_size", "pool_size", "criterion", "confidence",
+                        "lane_packing"}, path)
     return CampaignConfig(
         batch_size=_get(raw, "batch_size", path, int, default=16, minimum=1),
         pool_size=_get(raw, "pool_size", path, int, default=64, minimum=1),
         criterion=_get(raw, "criterion", path, str, default="top1"),
         confidence=_get(raw, "confidence", path, float, default=0.99,
                         choices=(0.90, 0.95, 0.99)),
+        lane_packing=_get(raw, "lane_packing", path, bool, default=True),
     )
 
 

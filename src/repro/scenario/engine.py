@@ -39,11 +39,17 @@ class PointResult:
     retries: int = 0
     requeued_chunks: int = 0
     quarantined_chunks: int = 0
+    forwards: int = 0
+    forwards_saved: int = 0
     meta: dict = field(default_factory=dict)
 
     @property
     def sdc_rate(self):
         return self.corruptions / self.injections if self.injections else 0.0
+
+    @property
+    def injections_per_forward(self):
+        return self.injections / self.forwards if self.forwards else 0.0
 
     @property
     def interval(self):
@@ -69,6 +75,9 @@ class PointResult:
             "retries": int(self.retries),
             "requeued_chunks": int(self.requeued_chunks),
             "quarantined_chunks": int(self.quarantined_chunks),
+            "forwards": int(self.forwards),
+            "forwards_saved": int(self.forwards_saved),
+            "injections_per_forward": float(self.injections_per_forward),
         }
         row.update(self.meta)
         return row
@@ -99,7 +108,16 @@ class ScenarioResult:
     def corruptions(self):
         return sum(point.corruptions for point in self.points)
 
+    @property
+    def forwards(self):
+        return sum(point.forwards for point in self.points)
+
+    @property
+    def forwards_saved(self):
+        return sum(point.forwards_saved for point in self.points)
+
     def as_dict(self):
+        forwards = self.forwards
         return {
             "scenario": self.name,
             "family": self.family,
@@ -111,6 +129,12 @@ class ScenarioResult:
             "corruptions": int(self.corruptions),
             "degraded": self.degraded,
             "artifact": self.artifact,
+            "forwards": int(forwards),
+            "forwards_saved": int(self.forwards_saved),
+            "injections_per_forward": (self.injections / forwards
+                                       if forwards else 0.0),
+            "lanes": ((forwards + self.forwards_saved) / forwards
+                      if forwards else 0.0),
             "points": [point.as_dict() for point in self.points],
         }
 
@@ -172,6 +196,8 @@ def run_scenario(compiled, workers=1, journal=None, observe=None,
                     "point": index, "label": point.label,
                     "injections": 0, "corruptions": 0})
             continue
+        forwards_before = campaign.perf.forwards
+        saved_before = campaign.perf.forwards_saved
         result = campaign.run(
             point.n_injections,
             confidence=config.campaign.confidence,
@@ -182,6 +208,8 @@ def run_scenario(compiled, workers=1, journal=None, observe=None,
             resident=point.resident,
             telemetry=bus,
         )
+        point_forwards = campaign.perf.forwards - forwards_before
+        point_saved = campaign.perf.forwards_saved - saved_before
         if bus is not None:
             bus.publish("scenario", "point_end", {
                 "point": index,
@@ -204,6 +232,8 @@ def run_scenario(compiled, workers=1, journal=None, observe=None,
             retries=int(retries),
             requeued_chunks=int(requeued),
             quarantined_chunks=int(quarantined),
+            forwards=int(point_forwards),
+            forwards_saved=int(point_saved),
             meta=dict(point.meta)))
     scenario = ScenarioResult(
         name=config.name, family=config.family, model=config.model.name,

@@ -258,6 +258,8 @@ class TelemetrySampler:
         self._done = 0
         self._chunk_done = 0
         self._total = None
+        self._chunk_forwards = 0
+        self._chunk_lanes = 0
         self._progress = deque()  # (t_mono, done) observations
         self._workers = {}  # wid -> {"pid": int, "alive": bool}
 
@@ -302,6 +304,12 @@ class TelemetrySampler:
                 # Progress-bar-free runs still advance via chunk tallies;
                 # max() lets heartbeat ticks stay authoritative when present.
                 self._chunk_done += int(data.get("injections") or 0)
+                # Lane occupancy: one chunk envelope is one forward hosting
+                # data["lanes"] packed injections (legacy streams lack the
+                # field; count their injections as one lane each).
+                self._chunk_forwards += 1
+                self._chunk_lanes += int(data.get("lanes")
+                                         or data.get("injections") or 1)
                 if self._chunk_done > self._done:
                     self._done = self._chunk_done
                     self._progress.append((env["t_mono"], self._done))
@@ -351,6 +359,9 @@ class TelemetrySampler:
                 "alive": bool(info.get("alive")),
                 "rss_kb": read_rss_kb(pid) if info.get("alive") and pid else None,
             })
+        lane_occupancy = (self._chunk_lanes / self._chunk_forwards
+                          if self._chunk_forwards else None)
+        forwards_saved = self._chunk_lanes - self._chunk_forwards
         self.samples += 1
         self.bus.publish("sampler", "gauges", {
             "done": self._done,
@@ -358,6 +369,8 @@ class TelemetrySampler:
             "inj_per_s": rate,
             "eta_s": eta,
             "cache_hit_rate": cache_hit_rate,
+            "lane_occupancy": lane_occupancy,
+            "forwards_saved": forwards_saved,
             "rss_kb": read_rss_kb(os.getpid()),
             "workers": workers,
         })

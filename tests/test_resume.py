@@ -241,21 +241,35 @@ class TestCampaignResumePaths:
             assert (on.label, on.predicted, on.corrupted) == (off.label, off.predicted, off.corrupted)
             assert on.margin_after == off.margin_after
 
-    def test_weight_campaign_falls_back_to_full_forwards(self, trained_tiny_model):
+    def test_weight_campaign_lane_packs_forwards(self, trained_tiny_model):
+        """Weight campaigns pack batch_size sites per forward (regression:
+        the runner used to silently fall back to one site per forward) and
+        ride the resume cache — lane hooks keep the weights clean through
+        the forward, so cached prefix activations stay valid."""
         model, dataset, _ = trained_tiny_model
-        outcomes = []
-        for _ in range(2):
+        outcomes = {}
+        for lane_packing in (True, False):
             campaign = InjectionCampaign(model, dataset, error_model=StuckAt(1e20),
                                          batch_size=8, pool_size=64, rng=9,
-                                         target="weight")
-            assert campaign.perf.resume_enabled is False
+                                         target="weight", lane_packing=lane_packing)
             result = campaign.run(12)
-            assert campaign.perf.resumed_forwards == 0
-            assert campaign.perf.forwards == 12  # one weight site per forward
-            outcomes.append((result.corruptions,
-                             tuple(result.per_layer_injections.tolist())))
-        assert outcomes[0] == outcomes[1]
-        assert sum(outcomes[0][1]) == 12
+            if lane_packing:
+                assert campaign.perf.resume_enabled
+                assert campaign.perf.forwards == 2  # ceil(12 / 8) forwards
+                assert campaign.perf.forwards_saved == 10
+                assert campaign.perf.mean_lane_occupancy == 6.0
+                assert campaign.perf.resumed_forwards == campaign.perf.forwards
+            else:
+                # The unpacked oracle rewrites the weight tensor for the
+                # whole forward: nothing upstream is clean, nothing resumes.
+                assert campaign.perf.resume_enabled is False
+                assert campaign.perf.resumed_forwards == 0
+                assert campaign.perf.forwards == 12  # the serial oracle
+                assert campaign.perf.forwards_saved == 0
+            outcomes[lane_packing] = (result.corruptions,
+                                      tuple(result.per_layer_injections.tolist()))
+        assert outcomes[True] == outcomes[False]
+        assert sum(outcomes[True][1]) == 12
 
     def test_non_chain_model_resumes_via_stubbing(self, tiny_dataset):
         """Branchy forwards still resume: prefix layers stubbed on a full re-run."""

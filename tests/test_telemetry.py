@@ -573,6 +573,36 @@ class TestSampler:
         final = [e for e in sub.drain() if e["source"] == "sampler"][-1]
         assert final["data"]["done"] == 12
 
+    def test_lane_occupancy_gauges(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        sampler = TelemetrySampler(bus, interval_s=60.0)
+        sampler.start()
+        # Two lane-packed chunk envelopes: 8 + 4 injections over 2 forwards.
+        bus.publish("campaign", "chunk", {"injections": 8, "lanes": 8})
+        bus.publish("campaign", "chunk", {"injections": 4, "lanes": 4})
+        sampler.stop()
+        final = [e for e in sub.drain() if e["source"] == "sampler"][-1]["data"]
+        assert final["lane_occupancy"] == 6.0
+        assert final["forwards_saved"] == 10
+
+    def test_lane_gauges_absent_traffic_and_legacy_streams(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        sampler = TelemetrySampler(bus, interval_s=60.0)
+        sampler.start()
+        sampler.stop()
+        final = [e for e in sub.drain() if e["source"] == "sampler"][-1]["data"]
+        assert final["lane_occupancy"] is None  # no chunks seen
+        bus2 = TelemetryBus()
+        sub2 = bus2.subscribe()
+        sampler2 = TelemetrySampler(bus2, interval_s=60.0)
+        sampler2.start()
+        bus2.publish("campaign", "chunk", {"injections": 4})  # pre-lane stream
+        sampler2.stop()
+        final2 = [e for e in sub2.drain() if e["source"] == "sampler"][-1]["data"]
+        assert final2["lane_occupancy"] == 4.0  # injections count as lanes
+
     def test_stop_is_idempotent(self):
         sampler = TelemetrySampler(TelemetryBus(), interval_s=60.0).start()
         sampler.stop()
